@@ -1,0 +1,192 @@
+// Benchmark harness: one target per table/figure of the paper's evaluation.
+// Each benchmark regenerates its artifact end to end (simulations included)
+// and reports domain-specific metrics alongside the usual ns/op. Run with
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// to regenerate everything exactly once; cmd/experiments prints the same
+// artifacts in human-readable form.
+package speedupstack
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/stack"
+	"repro/internal/workload"
+)
+
+// newRunner builds a fresh runner per benchmark iteration so cached
+// sequential times do not leak between b.N iterations (the first iteration
+// pays for everything; -benchtime=1x is the intended mode).
+func newRunner() *exp.Runner { return exp.NewRunner(sim.Default()) }
+
+// BenchmarkFig1SpeedupCurves regenerates Figure 1: speedup as a function of
+// the thread count for blackscholes, facesim and cholesky.
+func BenchmarkFig1SpeedupCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves, err := exp.Figure1(newRunner())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", exp.FormatCurves(curves))
+			last := curves[0].Points[len(curves[0].Points)-1]
+			b.ReportMetric(last.Speedup, "blackscholes-x16-speedup")
+		}
+	}
+}
+
+// BenchmarkValidationErrorTable regenerates the Section 6 accuracy table:
+// mean absolute estimation error at 2, 4, 8 and 16 threads (paper: 3.0,
+// 3.4, 2.8, 5.1 %).
+func BenchmarkValidationErrorTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Validation(newRunner(), runtime.NumCPU())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", exp.FormatValidation(rows))
+			for _, r := range rows {
+				b.ReportMetric(r.MeanAbsErrPct, fmt.Sprintf("mean-abs-err-pct-%dT", r.Threads))
+			}
+		}
+	}
+}
+
+// BenchmarkFig4ActualVsEstimated regenerates Figure 4: actual versus
+// estimated speedup for all 28 benchmarks at 2-16 threads.
+func BenchmarkFig4ActualVsEstimated(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Figure4(newRunner(), runtime.NumCPU())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(rows)), "benchmark-points")
+		}
+	}
+}
+
+// BenchmarkFig5SpeedupStacks regenerates Figure 5: the speedup stacks of
+// blackscholes, facesim and cholesky for 2-16 threads.
+func BenchmarkFig5SpeedupStacks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bars, err := exp.Figure5(newRunner())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", stack.Table(bars))
+		}
+	}
+}
+
+// BenchmarkFig6ClassificationTree regenerates Figure 6: the benchmark
+// classification tree at 16 threads.
+func BenchmarkFig6ClassificationTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Figure6(newRunner(), runtime.NumCPU())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			good := 0
+			yieldFirst := 0
+			for _, r := range rows {
+				if r.Class == stack.ClassGood {
+					good++
+				}
+				if len(r.Components) > 0 && r.Components[0] == stack.CompYielding {
+					yieldFirst++
+				}
+			}
+			b.ReportMetric(float64(good), "good-scaling-benchmarks")
+			b.ReportMetric(float64(yieldFirst), "yield-dominant-benchmarks")
+		}
+	}
+}
+
+// BenchmarkFig7FerretCores regenerates Figure 7: ferret speedup versus core
+// count with threads=cores and with 16 software threads.
+func BenchmarkFig7FerretCores(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Figure7(newRunner())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", exp.FormatFigure7(rows))
+			b.ReportMetric(rows[3].Threads16, "ferret-16t-16c-speedup")
+		}
+	}
+}
+
+// BenchmarkFig8LLCInterference regenerates Figure 8: negative/positive/net
+// LLC interference for the positively-sharing benchmarks at 16 cores.
+func BenchmarkFig8LLCInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Figure8(newRunner())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", exp.FormatInterference(rows))
+		}
+	}
+}
+
+// BenchmarkFig9LLCSizeSweep regenerates Figure 9: cholesky interference
+// components for 2/4/8/16 MB LLCs.
+func BenchmarkFig9LLCSizeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Figure9(newRunner())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", exp.FormatInterference(rows))
+			b.ReportMetric(rows[0].Net, "net-interference-2MB")
+			b.ReportMetric(rows[3].Net, "net-interference-16MB")
+		}
+	}
+}
+
+// BenchmarkHardwareCost regenerates the Section 4.7 hardware budget.
+func BenchmarkHardwareCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hw := HardwareCost()
+		if i == 0 {
+			b.ReportMetric(float64(hw.PerCoreBytes()), "bytes-per-core")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed on one
+// 16-thread facesim run (an engine microbenchmark, not a paper artifact).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	r := newRunner()
+	for i := 0; i < b.N; i++ {
+		out, err := r.Run(mustBench(b, "facesim_parsec_small"), 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(out.Result.TotalInstrs), "instructions")
+		}
+	}
+}
+
+// mustBench fetches a registered benchmark or fails the test.
+func mustBench(b *testing.B, name string) workload.Benchmark {
+	b.Helper()
+	w, ok := workload.ByName(name)
+	if !ok {
+		b.Fatalf("unknown benchmark %s", name)
+	}
+	return w
+}

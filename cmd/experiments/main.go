@@ -1,0 +1,135 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Figures 1 and 4–9, the Section 6 validation table, and the
+// Section 4.7 hardware cost budget) on the simulated 16-core machine.
+//
+// Usage:
+//
+//	experiments [flags] [fig1|fig4|fig5|fig6|fig7|fig8|fig9|validation|hwcost|ablation|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/stack"
+)
+
+func main() {
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulation workers")
+	flag.Parse()
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+
+	r := exp.NewRunner(sim.Default())
+	run := func(name string, f func() error) {
+		if which != "all" && which != name {
+			return
+		}
+		t0 := time.Now()
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%.1fs)\n\n", time.Since(t0).Seconds())
+	}
+
+	run("fig1", func() error {
+		curves, err := exp.Figure1(r)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatCurves(curves))
+		return nil
+	})
+	run("validation", func() error {
+		rows, err := exp.Validation(r, *workers)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatValidation(rows))
+		return nil
+	})
+	run("fig4", func() error {
+		rows, err := exp.Figure4(r, *workers)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatFigure4(rows))
+		return nil
+	})
+	run("fig5", func() error {
+		bars, err := exp.Figure5(r)
+		if err != nil {
+			return err
+		}
+		fmt.Print(stack.Render(bars, 64))
+		fmt.Println()
+		fmt.Print(stack.Table(bars))
+		return nil
+	})
+	run("fig6", func() error {
+		rows, err := exp.Figure6(r, *workers)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatFigure6(rows))
+		return nil
+	})
+	run("fig7", func() error {
+		rows, err := exp.Figure7(r)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatFigure7(rows))
+		return nil
+	})
+	run("fig8", func() error {
+		rows, err := exp.Figure8(r)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatInterference(rows))
+		return nil
+	})
+	run("fig9", func() error {
+		rows, err := exp.Figure9(r)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatInterference(rows))
+		return nil
+	})
+	run("hwcost", func() error {
+		fmt.Print(exp.HardwareCostReport())
+		return nil
+	})
+	run("ablation", func() error {
+		rows, err := exp.AblationSampling(r.Config())
+		if err != nil {
+			return err
+		}
+		fmt.Println("ATD sampling factor (hardware cost vs accuracy):")
+		fmt.Print(exp.FormatSampling(rows))
+		th, err := exp.AblationSpinThreshold(r.Config())
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nTian detector threshold:")
+		fmt.Print(exp.FormatThreshold(th))
+		qr, err := exp.AblationQuantum(r.Config())
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nengine quantum (fidelity check):")
+		fmt.Print(exp.FormatQuantum(qr))
+		return nil
+	})
+}

@@ -1,0 +1,40 @@
+// Command speedup-stack measures and prints the speedup stack of one
+// benchmark analogue.
+//
+// Usage:
+//
+//	speedup-stack -bench cholesky -threads 16
+//	speedup-stack -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	speedupstack "repro"
+)
+
+func main() {
+	bench := flag.String("bench", "cholesky_splash2", "benchmark (name or name_suite)")
+	threads := flag.Int("threads", 16, "thread count (= core count)")
+	list := flag.Bool("list", false, "list available benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range speedupstack.Benchmarks() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	res, err := speedupstack.Measure(*bench, *threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(speedupstack.Render(res))
+	fmt.Println()
+	fmt.Print(speedupstack.Table(res))
+	fmt.Printf("\ntop bottlenecks: %v\n", speedupstack.TopBottlenecks(res, 3))
+}

@@ -1,0 +1,39 @@
+// Classify: reproduce the paper's Figure 6 workflow on a benchmark subset.
+//
+// Runs a set of benchmarks at 16 threads, classifies each into
+// good/moderate/poor scaling, and prints the dominant speedup-stack
+// components — the tree-style workload characterization the paper proposes
+// in Section 7.2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+func main() {
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulations")
+	flag.Parse()
+
+	r := exp.NewRunner(sim.Default())
+	rows, err := exp.Figure6(r, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(exp.FormatFigure6(rows))
+
+	// The paper's headline observation: few benchmarks scale well.
+	good := 0
+	for _, row := range rows {
+		if row.Class == "good" {
+			good++
+		}
+	}
+	fmt.Printf("\n%d of %d benchmarks reach >=10x on 16 cores (paper: 5 of 28)\n",
+		good, len(rows))
+}

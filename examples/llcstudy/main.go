@@ -1,0 +1,37 @@
+// LLC study: reproduce the paper's Section 7.3 analysis.
+//
+// Compares negative, positive and net LLC interference across the
+// benchmarks that share data (Figure 8), then sweeps the LLC size for
+// cholesky (Figure 9) to show that growing the cache shrinks negative
+// interference while positive sharing persists — eventually making cache
+// sharing a net win.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+func main() {
+	r := exp.NewRunner(sim.Default())
+
+	fmt.Println("LLC interference components at 16 cores (speedup units):")
+	rows, err := exp.Figure8(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(exp.FormatInterference(rows))
+
+	fmt.Println("\ncholesky vs LLC size (negative shrinks, positive persists):")
+	sweep, err := exp.Figure9(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(exp.FormatInterference(sweep))
+
+	fmt.Println("\nreading: net > 0 means sharing the LLC costs performance;")
+	fmt.Println("net < 0 means inter-thread reuse outweighs the eviction losses.")
+}

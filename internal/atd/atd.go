@@ -1,0 +1,156 @@
+// Package atd implements the Auxiliary Tag Directory of the per-thread cycle
+// accounting architecture (paper Section 4.1–4.2).
+//
+// One ATD exists per core. It maintains the tags a *private* LLC of the same
+// geometry as the shared LLC would hold for that core alone, so that shared
+// vs. private behaviour can be compared access by access:
+//
+//   - shared-LLC miss that hits in the ATD  -> inter-thread miss
+//     (negative interference: sharing evicted this core's data)
+//   - shared-LLC hit that misses in the ATD -> inter-thread hit
+//     (positive interference: another thread fetched data this core reuses)
+//
+// To bound hardware cost only a subset of sets is monitored (set sampling);
+// penalties measured on sampled sets are extrapolated by the sampling
+// factor. A SampleShift of 0 turns the ATD into the full-coverage oracle the
+// tests and ground-truth analysis use.
+package atd
+
+import "fmt"
+
+// Config describes one per-core ATD.
+type Config struct {
+	// Sets and Ways mirror the shared LLC geometry.
+	Sets int
+	Ways int
+	// LineBytes is the cache-line size.
+	LineBytes int64
+	// SampleShift selects 1-in-2^SampleShift sets for monitoring
+	// (set is sampled iff set % 2^SampleShift == 0). Zero monitors all sets.
+	SampleShift uint
+	// TagBits is the number of tag bits stored per entry, used only by the
+	// hardware cost model.
+	TagBits int
+}
+
+// Validate reports whether the configuration is consistent.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("atd: non-positive geometry %+v", c)
+	}
+	if c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("atd: set count %d not a power of two", c.Sets)
+	}
+	if c.Sets>>c.SampleShift == 0 {
+		return fmt.Errorf("atd: sample shift %d leaves no sampled sets", c.SampleShift)
+	}
+	return nil
+}
+
+// SamplingFactor returns the nominal extrapolation factor 2^SampleShift.
+// The accounting software divides total accesses by sampled accesses at run
+// time (the paper's definition); this is the design-time value.
+func (c Config) SamplingFactor() uint64 { return 1 << c.SampleShift }
+
+// SampledSets returns the number of monitored sets.
+func (c Config) SampledSets() int { return c.Sets >> c.SampleShift }
+
+// Directory is one core's ATD. Only sampled sets are backed by storage.
+type Directory struct {
+	cfg  Config
+	mask uint64 // set is sampled iff set&mask == 0
+	// tags[sampledSet][way], MRU ordered. A zero tag plus valid=false means
+	// empty; tags are stored with a +1 bias so tag 0 is representable.
+	tags  [][]uint64
+	valid [][]bool
+
+	sampledAccesses uint64
+}
+
+// New builds a Directory.
+func New(cfg Config) *Directory {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := &Directory{
+		cfg:  cfg,
+		mask: (1 << cfg.SampleShift) - 1,
+	}
+	n := cfg.SampledSets()
+	d.tags = make([][]uint64, n)
+	d.valid = make([][]bool, n)
+	tagBacking := make([]uint64, n*cfg.Ways)
+	validBacking := make([]bool, n*cfg.Ways)
+	for i := 0; i < n; i++ {
+		d.tags[i] = tagBacking[i*cfg.Ways : (i+1)*cfg.Ways]
+		d.valid[i] = validBacking[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return d
+}
+
+// Config returns the directory configuration.
+func (d *Directory) Config() Config { return d.cfg }
+
+// setIndex and tag mirror the LLC address mapping.
+func (d *Directory) setIndex(addr uint64) int {
+	return int(addr / uint64(d.cfg.LineBytes) % uint64(d.cfg.Sets))
+}
+
+func (d *Directory) tag(addr uint64) uint64 {
+	return addr / uint64(d.cfg.LineBytes) / uint64(d.cfg.Sets)
+}
+
+// Sampled reports whether addr falls in a monitored set.
+func (d *Directory) Sampled(addr uint64) bool {
+	return uint64(d.setIndex(addr))&d.mask == 0
+}
+
+// Access simulates the private-LLC lookup for addr: it reports whether the
+// private cache would have hit, then updates LRU state and installs the line
+// on a miss. For non-sampled sets it reports sampled=false and does nothing.
+func (d *Directory) Access(addr uint64) (hit, sampled bool) {
+	set := d.setIndex(addr)
+	if uint64(set)&d.mask != 0 {
+		return false, false
+	}
+	d.sampledAccesses++
+	row := set >> d.cfg.SampleShift
+	tag := d.tag(addr)
+	tags, valid := d.tags[row], d.valid[row]
+	for w := range tags {
+		if valid[w] && tags[w] == tag {
+			// Promote to MRU.
+			copy(tags[1:w+1], tags[0:w])
+			copy(valid[1:w+1], valid[0:w])
+			tags[0], valid[0] = tag, true
+			return true, true
+		}
+	}
+	// Miss: install as MRU, evicting LRU (or filling an empty way).
+	way := len(tags) - 1
+	for w := len(tags) - 1; w >= 0; w-- {
+		if !valid[w] {
+			way = w
+			break
+		}
+	}
+	copy(tags[1:way+1], tags[0:way])
+	copy(valid[1:way+1], valid[0:way])
+	tags[0], valid[0] = tag, true
+	return false, true
+}
+
+// SampledAccesses returns how many accesses fell in monitored sets, used to
+// compute the run-time sampling factor (total LLC accesses / sampled
+// accesses) per the paper's Section 4.2.
+func (d *Directory) SampledAccesses() uint64 { return d.sampledAccesses }
+
+// SizeBytes returns the hardware cost of this ATD: sampled sets × ways ×
+// (tag bits + valid + status), rounded up to bytes per entry group. The
+// paper budgets 952 bytes per core for the interference accounting
+// (ATD + ORA + counters); Cost in internal/core composes this figure.
+func (d *Directory) SizeBytes() int {
+	bitsPerEntry := d.cfg.TagBits + 2 // tag + valid + dirty/status bit
+	totalBits := d.cfg.SampledSets() * d.cfg.Ways * bitsPerEntry
+	return (totalBits + 7) / 8
+}

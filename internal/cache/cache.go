@@ -1,0 +1,273 @@
+// Package cache implements the on-chip cache substrate of the simulated CMP:
+// set-associative tag arrays with true-LRU replacement, per-core private L1
+// data caches with MSI invalidation state, and a shared, inclusive last-level
+// cache (LLC) that carries a sharer vector per line for directory-style
+// coherence.
+//
+// The package is purely functional/structural: it models *which* accesses
+// hit and *what* gets evicted or invalidated. Timing (latencies, bus and
+// bank occupancy) is owned by internal/mem and internal/sim.
+package cache
+
+import "fmt"
+
+// Config describes the geometry of one cache.
+type Config struct {
+	// SizeBytes is the total data capacity.
+	SizeBytes int64
+	// Ways is the associativity.
+	Ways int
+	// LineBytes is the cache-line size (power of two).
+	LineBytes int64
+}
+
+// Validate reports whether the geometry is internally consistent.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines%int64(c.Ways) != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by %d ways", lines, c.Ways)
+	}
+	sets := lines / int64(c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int {
+	return int(c.SizeBytes / c.LineBytes / int64(c.Ways))
+}
+
+// LineAddr returns the line-granular address (byte address / line size).
+func (c Config) LineAddr(addr uint64) uint64 {
+	return addr / uint64(c.LineBytes)
+}
+
+// SetIndex returns the set an address maps to.
+func (c Config) SetIndex(addr uint64) int {
+	return int(c.LineAddr(addr) % uint64(c.Sets()))
+}
+
+// Tag returns the tag of an address.
+func (c Config) Tag(addr uint64) uint64 {
+	return c.LineAddr(addr) / uint64(c.Sets())
+}
+
+// State is the MSI coherence state of a private-cache line.
+type State uint8
+
+// Private-cache line states.
+const (
+	Invalid State = iota
+	Shared
+	Modified
+)
+
+// String returns the canonical one-letter state name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// Line is one tag-array entry. The fields beyond Tag/Valid are used only by
+// the cache level that needs them (coherence state in L1s, sharer vector in
+// the LLC); keeping one struct avoids a zoo of near-identical types.
+type Line struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+	// State is the MSI state for private caches.
+	State State
+	// Sharers is a bit vector of cores holding the line in their L1
+	// (LLC directory). Limits the simulated machine to 64 cores.
+	Sharers uint64
+	// OwnerMod is the core holding the line Modified in its L1, or -1.
+	OwnerMod int8
+	// InsertedBy is the core whose miss installed the line (LLC only).
+	InsertedBy int8
+	// CoherenceInvalid marks an L1 tombstone: the line was invalidated by a
+	// coherence action (remote store) rather than replaced. A subsequent
+	// miss that matches the tombstone is a coherence miss. Per the paper
+	// (Section 4.5), the status bits are updated while the tag remains in
+	// the array, which is exactly what makes this classification possible.
+	CoherenceInvalid bool
+}
+
+// Array is a set-associative tag array with true-LRU replacement. Ways are
+// stored in MRU-to-LRU order within each set; with the small associativities
+// used here (<= 16 ways) the shift on promotion is cheaper and simpler than
+// per-line counters.
+type Array struct {
+	cfg  Config
+	sets [][]Line
+}
+
+// NewArray allocates a tag array for the given geometry. It panics on an
+// invalid configuration: geometry is static builder input, not runtime data.
+func NewArray(cfg Config) *Array {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := make([][]Line, cfg.Sets())
+	backing := make([]Line, cfg.Sets()*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+		for w := range sets[i] {
+			sets[i][w].OwnerMod = -1
+			sets[i][w].InsertedBy = -1
+		}
+	}
+	return &Array{cfg: cfg, sets: sets}
+}
+
+// Config returns the array geometry.
+func (a *Array) Config() Config { return a.cfg }
+
+// Probe looks up addr without updating replacement state. It returns the
+// way index and whether the line is present and valid.
+func (a *Array) Probe(addr uint64) (set, way int, hit bool) {
+	set = a.cfg.SetIndex(addr)
+	tag := a.cfg.Tag(addr)
+	for w := range a.sets[set] {
+		if a.sets[set][w].Valid && a.sets[set][w].Tag == tag {
+			return set, w, true
+		}
+	}
+	return set, -1, false
+}
+
+// ProbeTombstone reports whether the set holds an *invalid* entry whose tag
+// matches addr and that was invalidated by coherence. Used to classify
+// coherence misses.
+func (a *Array) ProbeTombstone(addr uint64) bool {
+	set := a.cfg.SetIndex(addr)
+	tag := a.cfg.Tag(addr)
+	for w := range a.sets[set] {
+		l := &a.sets[set][w]
+		if !l.Valid && l.CoherenceInvalid && l.Tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Line returns a pointer to the line at (set, way) for metadata updates.
+func (a *Array) Line(set, way int) *Line { return &a.sets[set][way] }
+
+// Touch promotes (set, way) to MRU.
+func (a *Array) Touch(set, way int) {
+	s := a.sets[set]
+	if way == 0 {
+		return
+	}
+	l := s[way]
+	copy(s[1:way+1], s[0:way])
+	s[0] = l
+}
+
+// Insert installs a new line for addr as MRU, evicting the LRU entry of the
+// set if every way is valid. Invalid entries (including tombstones) are
+// consumed first, preferring the LRU-most invalid way. It returns the
+// victim's previous contents and whether a valid line was evicted.
+func (a *Array) Insert(addr uint64) (victim Line, evicted bool) {
+	set := a.cfg.SetIndex(addr)
+	tag := a.cfg.Tag(addr)
+	s := a.sets[set]
+	way := -1
+	for w := len(s) - 1; w >= 0; w-- {
+		if !s[w].Valid {
+			if way < 0 {
+				way = w
+			}
+			// Prefer a tombstone of the same tag: a refill over an
+			// invalidated line must consume its tombstone, otherwise a
+			// stale coherence marker would survive the line's return.
+			if s[w].CoherenceInvalid && s[w].Tag == tag {
+				way = w
+				break
+			}
+		}
+	}
+	if way < 0 {
+		way = len(s) - 1
+	}
+	victim = s[way]
+	evicted = victim.Valid
+	// Shift everything down and install at MRU position.
+	copy(s[1:way+1], s[0:way])
+	s[0] = Line{
+		Tag:        tag,
+		Valid:      true,
+		OwnerMod:   -1,
+		InsertedBy: -1,
+	}
+	// Defensive: no stale tombstone of this tag may survive the refill.
+	for w := 1; w < len(s); w++ {
+		if !s[w].Valid && s[w].CoherenceInvalid && s[w].Tag == tag {
+			s[w].CoherenceInvalid = false
+			s[w].Tag = 0
+		}
+	}
+	return victim, evicted
+}
+
+// Invalidate removes addr from the array if present. If coherence is true
+// the entry is kept as a tombstone (tag retained, valid bit cleared,
+// CoherenceInvalid set) so a later access can be classified as a coherence
+// miss; otherwise the entry is fully cleared. It returns the line's previous
+// contents and whether the line was present.
+func (a *Array) Invalidate(addr uint64, coherence bool) (old Line, present bool) {
+	set, way, hit := a.Probe(addr)
+	if !hit {
+		return Line{}, false
+	}
+	l := &a.sets[set][way]
+	old = *l
+	l.Valid = false
+	l.Dirty = false
+	l.State = Invalid
+	l.Sharers = 0
+	l.OwnerMod = -1
+	if coherence {
+		l.CoherenceInvalid = true
+	} else {
+		l.Tag = 0
+		l.CoherenceInvalid = false
+	}
+	return old, true
+}
+
+// VictimAddr reconstructs the base byte address of a victim line evicted
+// from set.
+func (a *Array) VictimAddr(set int, v Line) uint64 {
+	lineAddr := v.Tag*uint64(a.cfg.Sets()) + uint64(set)
+	return lineAddr * uint64(a.cfg.LineBytes)
+}
+
+// CountValid returns the number of valid lines (test/diagnostic helper).
+func (a *Array) CountValid() int {
+	n := 0
+	for _, s := range a.sets {
+		for _, l := range s {
+			if l.Valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,314 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func smallCfg() Config {
+	return Config{SizeBytes: 4096, Ways: 4, LineBytes: 64} // 16 sets
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := smallCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, Ways: 4, LineBytes: 64},
+		{SizeBytes: 4096, Ways: 0, LineBytes: 64},
+		{SizeBytes: 4096, Ways: 4, LineBytes: 48},      // not a power of two
+		{SizeBytes: 4096 + 64, Ways: 4, LineBytes: 64}, // lines not divisible
+		{SizeBytes: 4096 * 3, Ways: 4, LineBytes: 64},  // sets not power of two
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestAddressMapping(t *testing.T) {
+	c := smallCfg()
+	if c.Sets() != 16 {
+		t.Fatalf("sets = %d, want 16", c.Sets())
+	}
+	// Consecutive lines map to consecutive sets, wrapping.
+	for i := 0; i < 64; i++ {
+		addr := uint64(i * 64)
+		if got, want := c.SetIndex(addr), i%16; got != want {
+			t.Fatalf("SetIndex(%#x) = %d, want %d", addr, got, want)
+		}
+	}
+	// Same set, different tags.
+	a1, a2 := uint64(0), uint64(16*64)
+	if c.SetIndex(a1) != c.SetIndex(a2) {
+		t.Fatal("addresses should map to the same set")
+	}
+	if c.Tag(a1) == c.Tag(a2) {
+		t.Fatal("tags should differ")
+	}
+}
+
+func TestArrayInsertProbeTouch(t *testing.T) {
+	a := NewArray(smallCfg())
+	addr := uint64(0x1000)
+	if _, _, hit := a.Probe(addr); hit {
+		t.Fatal("empty array must miss")
+	}
+	if _, evicted := a.Insert(addr); evicted {
+		t.Fatal("insertion into empty set must not evict")
+	}
+	if _, _, hit := a.Probe(addr); !hit {
+		t.Fatal("inserted line must hit")
+	}
+}
+
+func TestArrayLRUEviction(t *testing.T) {
+	a := NewArray(smallCfg())
+	set0 := func(i int) uint64 { return uint64(i) * 16 * 64 } // all map to set 0
+	for i := 0; i < 4; i++ {
+		a.Insert(set0(i))
+	}
+	// Touch line 0 to promote it; line 1 becomes LRU.
+	s, w, hit := a.Probe(set0(0))
+	if !hit {
+		t.Fatal("line 0 missing")
+	}
+	a.Touch(s, w)
+	victim, evicted := a.Insert(set0(4))
+	if !evicted {
+		t.Fatal("full set must evict")
+	}
+	vaddr := a.VictimAddr(s, victim)
+	if vaddr != set0(1) {
+		t.Fatalf("evicted %#x, want LRU %#x", vaddr, set0(1))
+	}
+	if _, _, hit := a.Probe(set0(0)); !hit {
+		t.Fatal("recently-touched line was evicted")
+	}
+}
+
+func TestArrayInvalidateTombstone(t *testing.T) {
+	a := NewArray(smallCfg())
+	addr := uint64(0x40)
+	a.Insert(addr)
+	if _, present := a.Invalidate(addr, true); !present {
+		t.Fatal("invalidate missed present line")
+	}
+	if _, _, hit := a.Probe(addr); hit {
+		t.Fatal("invalidated line still hits")
+	}
+	if !a.ProbeTombstone(addr) {
+		t.Fatal("coherence tombstone missing")
+	}
+	// Non-coherence invalidation leaves no tombstone.
+	a.Insert(addr)
+	a.Invalidate(addr, false)
+	if a.ProbeTombstone(addr) {
+		t.Fatal("capacity invalidation left a tombstone")
+	}
+}
+
+func TestArrayInvalidateAbsent(t *testing.T) {
+	a := NewArray(smallCfg())
+	if _, present := a.Invalidate(0x123400, true); present {
+		t.Fatal("invalidate of absent line reported present")
+	}
+}
+
+// referenceLRU is an oracle model: per set, a slice ordered MRU..LRU.
+type referenceLRU struct {
+	cfg  Config
+	sets map[int][]uint64
+}
+
+func (r *referenceLRU) access(addr uint64) bool {
+	set := r.cfg.SetIndex(addr)
+	tag := r.cfg.Tag(addr)
+	s := r.sets[set]
+	for i, tg := range s {
+		if tg == tag {
+			copy(s[1:i+1], s[:i])
+			s[0] = tag
+			return true
+		}
+	}
+	s = append([]uint64{tag}, s...)
+	if len(s) > r.cfg.Ways {
+		s = s[:r.cfg.Ways]
+	}
+	r.sets[set] = s
+	return false
+}
+
+func TestArrayMatchesReferenceLRU(t *testing.T) {
+	cfg := smallCfg()
+	a := NewArray(cfg)
+	ref := &referenceLRU{cfg: cfg, sets: map[int][]uint64{}}
+	rng := trace.NewRNG(1234)
+	for i := 0; i < 50000; i++ {
+		addr := rng.Uint64n(4096*4) / 8 * 8
+		_, _, hit := a.Probe(addr)
+		if hit {
+			s, w, _ := a.Probe(addr)
+			a.Touch(s, w)
+		} else {
+			a.Insert(addr)
+		}
+		refHit := ref.access(addr)
+		if hit != refHit {
+			t.Fatalf("access %d (%#x): model hit=%v, reference hit=%v", i, addr, hit, refHit)
+		}
+	}
+}
+
+func TestHierarchyBasicMSI(t *testing.T) {
+	h := NewHierarchy(2, smallCfg(), Config{SizeBytes: 16384, Ways: 4, LineBytes: 64})
+	addr := uint64(0x80)
+
+	out := h.Access(0, addr, false)
+	if out.L1Hit || out.LLCHit {
+		t.Fatalf("cold access should miss everywhere: %+v", out)
+	}
+	out = h.Access(0, addr, false)
+	if !out.L1Hit {
+		t.Fatal("second access should hit L1")
+	}
+
+	// Core 1 reads: misses L1, hits LLC.
+	out = h.Access(1, addr, false)
+	if out.L1Hit || !out.LLCHit {
+		t.Fatalf("expected LLC hit for core 1: %+v", out)
+	}
+
+	// Core 1 writes while line Shared in core 0: upgrade + invalidation.
+	out = h.Access(1, addr, true)
+	if !out.L1Hit || !out.Upgrade || out.InvalidationsSent != 1 {
+		t.Fatalf("expected upgrade invalidating core 0: %+v", out)
+	}
+
+	// Core 0 re-reads: coherence miss (tombstone) + dirty forward.
+	out = h.Access(0, addr, false)
+	if !out.CoherenceMiss {
+		t.Fatalf("expected coherence miss: %+v", out)
+	}
+	if !out.DirtyForward {
+		t.Fatalf("expected dirty forward from core 1's Modified copy: %+v", out)
+	}
+	if h.Stats().CoherenceMisses[0] != 1 {
+		t.Fatalf("coherence miss not counted: %+v", h.Stats().CoherenceMisses)
+	}
+}
+
+func TestHierarchyWriteMissInvalidatesSharers(t *testing.T) {
+	h := NewHierarchy(3, smallCfg(), Config{SizeBytes: 16384, Ways: 4, LineBytes: 64})
+	addr := uint64(0x140)
+	h.Access(0, addr, false)
+	h.Access(1, addr, false)
+	// Core 2 writes: both sharers invalidated.
+	out := h.Access(2, addr, true)
+	if out.InvalidationsSent != 2 {
+		t.Fatalf("invalidations = %d, want 2", out.InvalidationsSent)
+	}
+	if h.L1(0).ProbeTombstone(addr) != true || h.L1(1).ProbeTombstone(addr) != true {
+		t.Fatal("sharers lack coherence tombstones")
+	}
+}
+
+func TestHierarchyInclusiveEviction(t *testing.T) {
+	// Tiny LLC: 4 sets x 2 ways. Filling one LLC set evicts lines that must
+	// also vanish from the L1s (inclusion).
+	l1 := Config{SizeBytes: 1024, Ways: 2, LineBytes: 64} // 8 sets
+	llc := Config{SizeBytes: 512, Ways: 2, LineBytes: 64} // 4 sets
+	h := NewHierarchy(1, l1, llc)
+	// Three addresses in the same LLC set (stride = sets*line = 256).
+	a0, a1, a2 := uint64(0), uint64(256), uint64(512)
+	h.Access(0, a0, false)
+	h.Access(0, a1, false)
+	out := h.Access(0, a2, false)
+	if !out.LLCVictimValid {
+		t.Fatalf("expected LLC eviction: %+v", out)
+	}
+	if _, _, hit := h.L1(0).Probe(out.LLCVictimAddr); hit {
+		t.Fatal("inclusion violated: victim still in L1")
+	}
+}
+
+func TestHierarchyDirtyVictimWriteback(t *testing.T) {
+	l1 := Config{SizeBytes: 1024, Ways: 2, LineBytes: 64}
+	llc := Config{SizeBytes: 512, Ways: 2, LineBytes: 64}
+	h := NewHierarchy(1, l1, llc)
+	a0, a1, a2 := uint64(0), uint64(256), uint64(512)
+	h.Access(0, a0, true) // dirty in L1
+	h.Access(0, a1, false)
+	out := h.Access(0, a2, false)
+	if !out.LLCVictimValid || !out.LLCVictimDirty {
+		t.Fatalf("dirty victim must require writeback: %+v", out)
+	}
+	if h.Stats().LLCWritebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", h.Stats().LLCWritebacks)
+	}
+}
+
+func TestHierarchyStatsConservation(t *testing.T) {
+	h := NewHierarchy(4, smallCfg(), Config{SizeBytes: 32768, Ways: 8, LineBytes: 64})
+	rng := trace.NewRNG(99)
+	accesses := 20000
+	for i := 0; i < accesses; i++ {
+		core := rng.Intn(4)
+		addr := rng.Uint64n(64 * 1024)
+		h.Access(core, addr, rng.Bool(0.3))
+	}
+	st := h.Stats()
+	var l1h, l1m, llch, llcm uint64
+	for c := 0; c < 4; c++ {
+		l1h += st.L1Hits[c]
+		l1m += st.L1Misses[c]
+		llch += st.LLCHits[c]
+		llcm += st.LLCMisses[c]
+	}
+	if l1h+l1m != uint64(accesses) {
+		t.Fatalf("L1 hits+misses = %d, want %d", l1h+l1m, accesses)
+	}
+	if llch+llcm != l1m {
+		t.Fatalf("LLC accesses %d != L1 misses %d", llch+llcm, l1m)
+	}
+}
+
+func TestHierarchyPropertyNoGhostHits(t *testing.T) {
+	// Property: a single-core hierarchy can only hit lines it accessed.
+	f := func(seed uint64) bool {
+		h := NewHierarchy(1, smallCfg(), Config{SizeBytes: 16384, Ways: 4, LineBytes: 64})
+		rng := trace.NewRNG(seed)
+		seen := map[uint64]bool{}
+		for i := 0; i < 500; i++ {
+			addr := rng.Uint64n(32768) &^ 63
+			out := h.Access(0, addr, rng.Bool(0.2))
+			if (out.L1Hit || out.LLCHit) && !seen[addr] {
+				return false
+			}
+			seen[addr] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVictimAddrRoundTrip(t *testing.T) {
+	cfg := smallCfg()
+	a := NewArray(cfg)
+	addr := uint64(0x12340) &^ 63
+	a.Insert(addr)
+	set, way, hit := a.Probe(addr)
+	if !hit {
+		t.Fatal("line missing")
+	}
+	line := a.Line(set, way)
+	if got := a.VictimAddr(set, *line); got != addr&^63 {
+		t.Fatalf("VictimAddr = %#x, want %#x", got, addr&^63)
+	}
+}

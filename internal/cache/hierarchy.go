@@ -1,0 +1,251 @@
+package cache
+
+// Hierarchy models the two-level cache system of the simulated CMP: private
+// per-core L1 data caches over a shared, inclusive LLC, kept coherent with a
+// directory-style MSI invalidation protocol (sharer vector per LLC line).
+//
+// Hierarchy implements only the structural protocol: hit/miss outcomes,
+// evictions, invalidations and writebacks. All latencies are applied by the
+// caller (internal/sim) based on the returned Outcome, which keeps the
+// protocol unit-testable without a timing model.
+type Hierarchy struct {
+	l1  []*Array
+	llc *Array
+
+	stats HierarchyStats
+}
+
+// HierarchyStats aggregates protocol event counts, per core.
+type HierarchyStats struct {
+	L1Hits          []uint64
+	L1Misses        []uint64
+	LLCHits         []uint64
+	LLCMisses       []uint64
+	CoherenceMisses []uint64 // L1 misses caused by remote invalidation
+	Upgrades        []uint64 // S->M transitions requiring invalidations
+	Invalidations   []uint64 // lines invalidated in this core's L1 by others
+	DirtyForwards   []uint64 // accesses serviced from a remote Modified line
+	LLCWritebacks   uint64   // dirty LLC victims written to memory
+}
+
+// Outcome describes what one access did to the hierarchy.
+type Outcome struct {
+	// L1Hit is true when the access hit in the local L1 (no LLC involvement
+	// except for upgrades).
+	L1Hit bool
+	// LLCHit is true when the access missed L1 but hit the shared LLC.
+	LLCHit bool
+	// CoherenceMiss is true when the L1 miss matched a coherence tombstone:
+	// the line was present earlier and invalidated by a remote store.
+	CoherenceMiss bool
+	// DirtyForward is true when the data was held Modified in a remote L1
+	// and had to be forwarded/downgraded.
+	DirtyForward bool
+	// Upgrade is true when a store hit a Shared L1 line and had to
+	// invalidate remote copies before writing.
+	Upgrade bool
+	// InvalidationsSent counts remote L1 lines invalidated by this access.
+	InvalidationsSent int
+	// LLCVictimValid is true when the LLC evicted a valid line to make room.
+	LLCVictimValid bool
+	// LLCVictimDirty is true when that victim must be written back to
+	// memory (it consumes bus bandwidth in the timing model).
+	LLCVictimDirty bool
+	// LLCVictimAddr is the base address of the evicted LLC line.
+	LLCVictimAddr uint64
+	// LLCSet is the LLC set index touched by the access (for set sampling).
+	LLCSet int
+}
+
+// NewHierarchy builds a hierarchy with cores identical private L1s and one
+// shared LLC.
+func NewHierarchy(cores int, l1 Config, llc Config) *Hierarchy {
+	if cores <= 0 || cores > 64 {
+		panic("cache: core count must be in [1,64] (sharer vector is 64-bit)")
+	}
+	h := &Hierarchy{
+		l1:  make([]*Array, cores),
+		llc: NewArray(llc),
+	}
+	for i := range h.l1 {
+		h.l1[i] = NewArray(l1)
+	}
+	h.stats = HierarchyStats{
+		L1Hits:          make([]uint64, cores),
+		L1Misses:        make([]uint64, cores),
+		LLCHits:         make([]uint64, cores),
+		LLCMisses:       make([]uint64, cores),
+		CoherenceMisses: make([]uint64, cores),
+		Upgrades:        make([]uint64, cores),
+		Invalidations:   make([]uint64, cores),
+		DirtyForwards:   make([]uint64, cores),
+	}
+	return h
+}
+
+// Cores returns the number of private caches.
+func (h *Hierarchy) Cores() int { return len(h.l1) }
+
+// LLC exposes the shared array (used by the ATD to mirror geometry).
+func (h *Hierarchy) LLC() *Array { return h.llc }
+
+// L1 exposes core's private array (diagnostics and tests).
+func (h *Hierarchy) L1(core int) *Array { return h.l1[core] }
+
+// Stats returns the accumulated protocol statistics.
+func (h *Hierarchy) Stats() *HierarchyStats { return &h.stats }
+
+// Access performs one load or store by core to addr and returns the
+// structural outcome. It updates L1 and LLC contents, replacement state,
+// sharer vectors and coherence tombstones.
+func (h *Hierarchy) Access(core int, addr uint64, write bool) Outcome {
+	var out Outcome
+	l1 := h.l1[core]
+	out.LLCSet = h.llc.Config().SetIndex(addr)
+
+	if set, way, hit := l1.Probe(addr); hit {
+		l1.Touch(set, way) // after Touch the hit line is at way 0
+		line := l1.Line(set, 0)
+		h.stats.L1Hits[core]++
+		out.L1Hit = true
+		if write && line.State == Shared {
+			// Upgrade: invalidate all other sharers via the directory.
+			out.Upgrade = true
+			h.stats.Upgrades[core]++
+			if _, lway, lhit := h.llc.Probe(addr); lhit {
+				lline := h.llc.Line(h.llc.Config().SetIndex(addr), lway)
+				out.InvalidationsSent = h.invalidateRemoteSharers(core, addr, lline)
+				lline.Sharers = 1 << uint(core)
+				lline.OwnerMod = int8(core)
+			}
+			line.State = Modified
+			line.Dirty = true
+		}
+		return out
+	}
+
+	// L1 miss path.
+	h.stats.L1Misses[core]++
+	if l1.ProbeTombstone(addr) {
+		out.CoherenceMiss = true
+		h.stats.CoherenceMisses[core]++
+	}
+
+	llcSet, llcWay, llcHit := h.llc.Probe(addr)
+	if llcHit {
+		h.stats.LLCHits[core]++
+		out.LLCHit = true
+		line := h.llc.Line(llcSet, llcWay)
+		if line.OwnerMod >= 0 && int(line.OwnerMod) != core {
+			// Remote Modified copy: forward and downgrade/invalidate it.
+			out.DirtyForward = true
+			h.stats.DirtyForwards[core]++
+			owner := int(line.OwnerMod)
+			if write {
+				if _, present := h.l1[owner].Invalidate(addr, true); present {
+					h.stats.Invalidations[owner]++
+					out.InvalidationsSent++
+				}
+				line.Sharers &^= 1 << uint(owner)
+			} else {
+				// Downgrade owner M->S; its data is written back into LLC.
+				if oset, oway, ohit := h.l1[owner].Probe(addr); ohit {
+					ol := h.l1[owner].Line(oset, oway)
+					ol.State = Shared
+					ol.Dirty = false
+				}
+			}
+			line.Dirty = true
+			line.OwnerMod = -1
+		}
+		if write {
+			out.InvalidationsSent += h.invalidateRemoteSharers(core, addr, line)
+			line.Sharers = 1 << uint(core)
+			line.OwnerMod = int8(core)
+		} else {
+			line.Sharers |= 1 << uint(core)
+		}
+		h.llc.Touch(llcSet, llcWay)
+		h.fillL1(core, addr, write)
+		return out
+	}
+
+	// LLC miss: fetch from memory, install in LLC then L1.
+	h.stats.LLCMisses[core]++
+	victim, evicted := h.llc.Insert(addr)
+	if evicted {
+		out.LLCVictimValid = true
+		out.LLCVictimAddr = h.llc.VictimAddr(llcSet, victim)
+		// Inclusive LLC: purge the victim from every sharer's L1. These are
+		// capacity invalidations, not coherence, so no tombstone is left.
+		dirtyInL1 := false
+		for c := 0; c < len(h.l1); c++ {
+			if victim.Sharers&(1<<uint(c)) == 0 {
+				continue
+			}
+			if old, present := h.l1[c].Invalidate(out.LLCVictimAddr, false); present {
+				if old.State == Modified || old.Dirty {
+					dirtyInL1 = true
+				}
+			}
+		}
+		if victim.Dirty || victim.OwnerMod >= 0 || dirtyInL1 {
+			out.LLCVictimDirty = true
+			h.stats.LLCWritebacks++
+		}
+	}
+	newSet := h.llc.Config().SetIndex(addr)
+	newLine := h.llc.Line(newSet, 0)
+	newLine.InsertedBy = int8(core)
+	newLine.Sharers = 1 << uint(core)
+	if write {
+		newLine.OwnerMod = int8(core)
+	}
+	h.fillL1(core, addr, write)
+	return out
+}
+
+// invalidateRemoteSharers invalidates addr in every L1 other than core's,
+// leaving coherence tombstones. It returns the number of invalidations.
+func (h *Hierarchy) invalidateRemoteSharers(core int, addr uint64, line *Line) int {
+	n := 0
+	for c := 0; c < len(h.l1); c++ {
+		if c == core || line.Sharers&(1<<uint(c)) == 0 {
+			continue
+		}
+		if _, present := h.l1[c].Invalidate(addr, true); present {
+			h.stats.Invalidations[c]++
+			n++
+		}
+	}
+	return n
+}
+
+// fillL1 installs addr into core's L1 in the appropriate MSI state and
+// handles the L1 victim (writeback into the LLC line, sharer-bit cleanup).
+func (h *Hierarchy) fillL1(core int, addr uint64, write bool) {
+	l1 := h.l1[core]
+	victim, evicted := l1.Insert(addr)
+	set := l1.Config().SetIndex(addr)
+	line := l1.Line(set, 0)
+	if write {
+		line.State = Modified
+		line.Dirty = true
+	} else {
+		line.State = Shared
+	}
+	if !evicted {
+		return
+	}
+	vaddr := l1.VictimAddr(set, victim)
+	if vset, vway, vhit := h.llc.Probe(vaddr); vhit {
+		vline := h.llc.Line(vset, vway)
+		vline.Sharers &^= 1 << uint(core)
+		if victim.State == Modified || victim.Dirty {
+			vline.Dirty = true
+		}
+		if vline.OwnerMod == int8(core) {
+			vline.OwnerMod = -1
+		}
+	}
+}

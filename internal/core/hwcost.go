@@ -1,0 +1,80 @@
+package core
+
+// Hardware cost model of the accounting architecture (paper Section 4.7).
+// The paper budgets 952 bytes per core for the interference accounting
+// (sampled ATD, ORA, event counters) plus 217 bytes for the Tian load
+// table, about 1.1 KB per core and 18 KB for a 16-core CMP.
+
+// HardwareBudget itemizes the per-core storage of the accounting
+// architecture.
+type HardwareBudget struct {
+	// ATDBytes is the sampled auxiliary tag directory.
+	ATDBytes int
+	// ORABytes is the open row array.
+	ORABytes int
+	// CounterBytes is the bank of event counters and stall accumulators.
+	CounterBytes int
+	// SpinTableBytes is the Tian load table.
+	SpinTableBytes int
+}
+
+// InterferenceBytes is the interference-accounting subtotal the paper
+// quotes as 952 bytes per core.
+func (b HardwareBudget) InterferenceBytes() int {
+	return b.ATDBytes + b.ORABytes + b.CounterBytes
+}
+
+// PerCoreBytes is the total per-core cost (≈1.1 KB in the paper).
+func (b HardwareBudget) PerCoreBytes() int {
+	return b.InterferenceBytes() + b.SpinTableBytes
+}
+
+// TotalBytes is the machine-wide cost for cores cores (18 KB for 16 cores
+// in the paper).
+func (b HardwareBudget) TotalBytes(cores int) int {
+	return b.PerCoreBytes() * cores
+}
+
+// CostParams are the geometry inputs to the cost model.
+type CostParams struct {
+	// SampledSets and Ways size the ATD.
+	SampledSets int
+	Ways        int
+	// TagBits is the stored tag width per ATD entry (plus valid+status).
+	TagBits int
+	// ORAEntries at 6 bytes each (bank id + row number + valid).
+	ORAEntries int
+	// Counters is the number of 48-bit event/stall counters.
+	Counters int
+	// SpinEntries at 27 bytes each (PC, address, data, mark, timestamp),
+	// the paper's 8-entry table costing 217 bytes.
+	SpinEntries int
+}
+
+// Cost computes the per-core hardware budget from geometry.
+func Cost(p CostParams) HardwareBudget {
+	atdBits := p.SampledSets * p.Ways * (p.TagBits + 2)
+	return HardwareBudget{
+		ATDBytes:       (atdBits + 7) / 8,
+		ORABytes:       p.ORAEntries * 6,
+		CounterBytes:   p.Counters * 6,
+		SpinTableBytes: p.SpinEntries*27 + 1,
+	}
+}
+
+// PaperCostParams returns the geometry that reproduces the paper's budget
+// exactly: a 16-set sampled ATD over the 2 MB 16-way LLC (16×16 entries of
+// 24-bit tags + 2 status bits = 832 B), an 8-entry ORA (48 B) and twelve
+// 48-bit counters (72 B) give the 952-byte interference subtotal; the
+// 8-entry Tian table (27 B each + control) gives 217 B; together ≈1.1 KB
+// per core and ≈18 KB for a 16-core CMP.
+func PaperCostParams() CostParams {
+	return CostParams{
+		SampledSets: 16,
+		Ways:        16,
+		TagBits:     24,
+		ORAEntries:  8,
+		Counters:    12,
+		SpinEntries: 8,
+	}
+}

@@ -1,0 +1,187 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Ablation studies for the accounting architecture's design choices
+// (DESIGN.md's per-experiment index). These are not paper figures; they
+// probe the knobs the paper fixed: the ATD sampling factor (Section 4.1
+// trades hardware cost against extrapolation noise), the Tian detector's
+// repetition threshold (Section 4.3), and the engine's relaxed-
+// synchronization quantum (a simulator-fidelity check).
+
+// SamplingRow is one point of the ATD sampling sweep.
+type SamplingRow struct {
+	// SampleShift selects 1-in-2^shift sets.
+	SampleShift uint
+	// ATDBytes is the per-core tag-store cost at this shift.
+	ATDBytes int
+	// MeanAbsErrPct is the 16-thread validation error over the probe set.
+	MeanAbsErrPct float64
+}
+
+// ablationProbeSet is a small but diverse benchmark subset used by the
+// sweeps: one cache-bound, one spin-bound, one sharing-bound and one
+// pipeline benchmark.
+var ablationProbeSet = []string{
+	"facesim_parsec_small",
+	"cholesky_splash2",
+	"canneal_parsec_small",
+	"ferret_parsec_small",
+}
+
+func probeError(cfg sim.Config) (float64, error) {
+	r := NewRunner(cfg)
+	total := 0.0
+	for _, name := range ablationProbeSet {
+		b, ok := workload.ByName(name)
+		if !ok {
+			return 0, fmt.Errorf("exp: unknown probe benchmark %s", name)
+		}
+		out, err := r.Run(b, 16)
+		if err != nil {
+			return 0, err
+		}
+		e := out.Error()
+		if e < 0 {
+			e = -e
+		}
+		total += 100 * e
+	}
+	return total / float64(len(ablationProbeSet)), nil
+}
+
+// AblationSampling sweeps the ATD set-sampling factor: more sampled sets
+// cost more tag storage and reduce extrapolation noise. The paper picks a
+// high sampling factor to reach its 952-byte budget.
+func AblationSampling(base sim.Config) ([]SamplingRow, error) {
+	var rows []SamplingRow
+	for _, shift := range []uint{0, 3, 5, 7} {
+		cfg := base
+		cfg.ATDSampleShift = shift
+		err := cfg.Validate()
+		if err != nil {
+			return nil, err
+		}
+		meanErr, err := probeError(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sets := cfg.LLC.Sets() >> shift
+		cost := core.Cost(core.CostParams{
+			SampledSets: sets, Ways: cfg.LLC.Ways, TagBits: 24,
+			ORAEntries: cfg.Mem.ORAEntries, Counters: 12, SpinEntries: 8,
+		})
+		rows = append(rows, SamplingRow{
+			SampleShift:   shift,
+			ATDBytes:      cost.ATDBytes,
+			MeanAbsErrPct: meanErr,
+		})
+	}
+	return rows, nil
+}
+
+// FormatSampling renders the sampling sweep.
+func FormatSampling(rows []SamplingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %14s %14s\n", "sample shift", "ATD bytes/core", "mean|err|%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14d %14d %14.1f\n", r.SampleShift, r.ATDBytes, r.MeanAbsErrPct)
+	}
+	return b.String()
+}
+
+// ThresholdRow is one point of the spin-threshold sweep.
+type ThresholdRow struct {
+	Threshold     int
+	MeanAbsErrPct float64
+	// SpinShare is cholesky's detected spin component in speedup units: a
+	// threshold that is too high misses short episodes.
+	SpinShare float64
+}
+
+// AblationSpinThreshold sweeps the Tian detector's repetition threshold.
+func AblationSpinThreshold(base sim.Config) ([]ThresholdRow, error) {
+	var rows []ThresholdRow
+	chol, _ := workload.ByName("cholesky_splash2")
+	for _, th := range []int{4, 16, 64, 256} {
+		cfg := base
+		cfg.Spin.Threshold = th
+		meanErr, err := probeError(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out, err := NewRunner(cfg).Run(chol, 16)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ThresholdRow{
+			Threshold:     th,
+			MeanAbsErrPct: meanErr,
+			SpinShare:     out.Stack.Components.Spin / float64(out.Tp),
+		})
+	}
+	return rows, nil
+}
+
+// FormatThreshold renders the spin-threshold sweep.
+func FormatThreshold(rows []ThresholdRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %14s %20s\n", "threshold", "mean|err|%", "cholesky spin comp")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12d %14.1f %20.2f\n", r.Threshold, r.MeanAbsErrPct, r.SpinShare)
+	}
+	return b.String()
+}
+
+// QuantumRow is one point of the engine-quantum sweep.
+type QuantumRow struct {
+	Quantum uint64
+	// Speedup16 is facesim's measured 16-thread speedup: relaxed
+	// synchronization must not distort results materially.
+	Speedup16 float64
+	// MeanAbsErrPct as in the other sweeps.
+	MeanAbsErrPct float64
+}
+
+// AblationQuantum sweeps the relaxed-synchronization quantum. Simulated
+// results should be (nearly) insensitive to it within a sane range — this
+// is the fidelity argument for the Sniper-style engine.
+func AblationQuantum(base sim.Config) ([]QuantumRow, error) {
+	var rows []QuantumRow
+	face, _ := workload.ByName("facesim_parsec_small")
+	for _, q := range []uint64{50, 100, 200, 400} {
+		cfg := base
+		cfg.Quantum = q
+		out, err := NewRunner(cfg).Run(face, 16)
+		if err != nil {
+			return nil, err
+		}
+		meanErr, err := probeError(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, QuantumRow{
+			Quantum:       q,
+			Speedup16:     out.Actual,
+			MeanAbsErrPct: meanErr,
+		})
+	}
+	return rows, nil
+}
+
+// FormatQuantum renders the quantum sweep.
+func FormatQuantum(rows []QuantumRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %18s %14s\n", "quantum", "facesim x16", "mean|err|%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10d %18.2f %14.1f\n", r.Quantum, r.Speedup16, r.MeanAbsErrPct)
+	}
+	return b.String()
+}

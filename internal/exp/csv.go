@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/stack"
+)
+
+// CSV emitters produce machine-readable versions of every artifact, so the
+// figures can be re-plotted with external tooling.
+
+// WriteCurvesCSV emits Figure 1 data as benchmark,threads,speedup rows.
+func WriteCurvesCSV(w io.Writer, curves []SpeedupCurve) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "threads", "speedup"}); err != nil {
+		return err
+	}
+	for _, c := range curves {
+		for _, p := range c.Points {
+			rec := []string{c.Benchmark, strconv.Itoa(p.Threads), fmtF(p.Speedup)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure4CSV emits benchmark,threads,actual,estimated rows.
+func WriteFigure4CSV(w io.Writer, rows []Figure4Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "threads", "actual", "estimated"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Benchmark, strconv.Itoa(r.Threads), fmtF(r.Actual), fmtF(r.Estimated)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteStacksCSV emits one row per stack with every component in speedup
+// units (Figure 5 data).
+func WriteStacksCSV(w io.Writer, bars []stack.Bar) error {
+	cw := csv.NewWriter(w)
+	header := []string{"label", "threads", "estimated", "actual",
+		"base", "posLLC", "negLLC", "netLLC", "memory", "spin", "yield", "imbalance"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, b := range bars {
+		s := b.Stack
+		tp := float64(s.Tp)
+		rec := []string{
+			b.Label, strconv.Itoa(s.N), fmtF(s.Estimated()), fmtF(s.ActualSpeedup),
+			fmtF(s.Base()), fmtF(s.Components.PosLLC / tp), fmtF(s.Components.NegLLC / tp),
+			fmtF(s.Components.Net() / tp), fmtF(s.Components.NegMem / tp),
+			fmtF(s.Components.Spin / tp), fmtF(s.Components.Yield / tp),
+			fmtF(s.Components.Imbalance / tp),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteInterferenceCSV emits Figure 8/9 rows.
+func WriteInterferenceCSV(w io.Writer, rows []InterferenceRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"label", "negative", "positive", "net"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Label, fmtF(r.Negative), fmtF(r.Positive), fmtF(r.Net)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTreeCSV emits Figure 6 rows.
+func WriteTreeCSV(w io.Writer, rows []TreeRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{"class", "comp1", "comp2", "comp3", "benchmark", "suite",
+		"speedup", "paper_speedup"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	comp := func(c []string, i int) string {
+		if i < len(c) {
+			return c[i]
+		}
+		return ""
+	}
+	for _, r := range rows {
+		rec := []string{string(r.Class), comp(r.Components, 0), comp(r.Components, 1),
+			comp(r.Components, 2), r.Benchmark, r.Suite,
+			fmtF(r.Speedup), fmtF(r.PaperSpeedup)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%.4f", v) }

@@ -1,0 +1,170 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestRunnerPairsRuns(t *testing.T) {
+	r := NewRunner(sim.Default())
+	b, _ := workload.ByName("lud_rodinia")
+	out, err := r.Run(b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ts == 0 || out.Tp == 0 {
+		t.Fatal("missing timings")
+	}
+	if out.Actual <= 1 || out.Actual > 4.05 {
+		t.Fatalf("4-thread speedup %v implausible", out.Actual)
+	}
+	if out.Stack.ActualSpeedup != out.Actual {
+		t.Fatal("stack does not carry the actual speedup")
+	}
+	if e := out.Error(); e < -0.5 || e > 0.5 {
+		t.Fatalf("error %v implausible", e)
+	}
+}
+
+func TestRunnerCachesSequentialTime(t *testing.T) {
+	r := NewRunner(sim.Default())
+	b, _ := workload.ByName("swaptions_parsec_small")
+	ts1, err := r.SequentialTime(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2, err := r.SequentialTime(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts1 != ts2 {
+		t.Fatalf("cache returned different Ts: %d vs %d", ts1, ts2)
+	}
+}
+
+func TestFigure1CurvesMonotoneStart(t *testing.T) {
+	// Restrict to the cheapest exemplar to keep the test fast: curves
+	// start at 1 and speedup at 2 threads must exceed 1.
+	r := NewRunner(sim.Default())
+	b, _ := workload.ByName("blackscholes_parsec_small")
+	out2, err := r.Run(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out4, err := r.Run(b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Actual <= 1.5 || out4.Actual <= out2.Actual {
+		t.Fatalf("scaling broken: 2T=%v 4T=%v", out2.Actual, out4.Actual)
+	}
+}
+
+func TestFigure7ShapeSaturates(t *testing.T) {
+	r := NewRunner(sim.Default())
+	rows, err := Figure7(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The paper's qualitative claims: 16 threads on 8 cores is within noise
+	// of 16 threads on 16 cores (saturation), and 16 threads beat or match
+	// threads=cores at 4 cores.
+	if rows[3].Threads16 > rows[2].Threads16*1.15 {
+		t.Fatalf("no saturation: 8c=%v 16c=%v", rows[2].Threads16, rows[3].Threads16)
+	}
+	if rows[1].Threads16 < rows[1].ThreadsEqCores*0.95 {
+		t.Fatalf("16 threads slower than 4 at 4 cores: %v vs %v",
+			rows[1].Threads16, rows[1].ThreadsEqCores)
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	r := NewRunner(sim.Default())
+	rows, err := Figure9(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Negative interference shrinks with LLC size; the net component ends
+	// negative (sharing becomes a win), the paper's Section 7.3 claim.
+	if rows[3].Negative >= rows[0].Negative && rows[0].Negative > 0 {
+		t.Fatalf("negative did not shrink: %v -> %v", rows[0].Negative, rows[3].Negative)
+	}
+	if rows[3].Net >= 0 {
+		t.Fatalf("net interference at 16MB = %v, want negative", rows[3].Net)
+	}
+	if rows[3].Positive <= 0 {
+		t.Fatal("positive interference vanished at 16MB")
+	}
+}
+
+func TestHardwareCostReportMatchesPaper(t *testing.T) {
+	rep := HardwareCostReport()
+	for _, want := range []string{"952 B/core", "217 B/core", "18.3 KB"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	curves := []SpeedupCurve{{
+		Benchmark: "x",
+		Points:    []CurvePoint{{1, 1}, {2, 1.9}},
+	}}
+	if s := FormatCurves(curves); !strings.Contains(s, "1.90") {
+		t.Fatalf("curve formatting: %q", s)
+	}
+	rows := []ValidationRow{{Threads: 16, MeanAbsErrPct: 4.2, MaxAbsErrPct: 14.0, Worst: "cholesky"}}
+	if s := FormatValidation(rows); !strings.Contains(s, "cholesky") || !strings.Contains(s, "5.1") {
+		t.Fatalf("validation formatting: %q", s)
+	}
+	f4 := []Figure4Row{{Benchmark: "b", Threads: 4, Actual: 3, Estimated: 3.3}}
+	if s := FormatFigure4(f4); !strings.Contains(s, "+7.5") {
+		t.Fatalf("fig4 formatting: %q", s)
+	}
+	f7 := []Figure7Row{{Cores: 4, ThreadsEqCores: 2.5, Threads16: 2.8}}
+	if s := FormatFigure7(f7); !strings.Contains(s, "2.80") {
+		t.Fatalf("fig7 formatting: %q", s)
+	}
+	ir := []InterferenceRow{{Label: "l", Negative: 1, Positive: 0.5, Net: 0.5}}
+	if s := FormatInterference(ir); !strings.Contains(s, "+0.50") {
+		t.Fatalf("interference formatting: %q", s)
+	}
+}
+
+func TestFigure6ClassesAndSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 28-benchmark sweep")
+	}
+	r := NewRunner(sim.Default())
+	rows, err := Figure6(r, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 28 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Classes appear in good -> moderate -> poor order.
+	order := map[string]int{"good": 0, "moderate": 1, "poor": 2}
+	prev := 0
+	for _, row := range rows {
+		o := order[string(row.Class)]
+		if o < prev {
+			t.Fatal("classes out of order")
+		}
+		prev = o
+	}
+	out := FormatFigure6(rows)
+	if !strings.Contains(out, "yielding is the largest component") {
+		t.Fatal("summary line missing")
+	}
+}

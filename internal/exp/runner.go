@@ -1,0 +1,121 @@
+// Package exp is the experiment harness: it runs benchmark analogues on the
+// simulated machine, pairs each multi-threaded run with its single-threaded
+// reference, and regenerates every table and figure of the paper's
+// evaluation (Figures 1 and 4-9 plus the Section 6 validation errors).
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Outcome is one (benchmark, thread-count) measurement: the multi-threaded
+// run, its single-threaded reference, and the derived speedup stack.
+type Outcome struct {
+	Bench   workload.Benchmark
+	Threads int
+	// Ts and Tp are the sequential and parallel execution times (cycles).
+	Ts uint64
+	Tp uint64
+	// Actual is S = Ts/Tp; Estimated is Ŝ from the accounting hardware.
+	Actual    float64
+	Estimated float64
+	// Stack is the estimated speedup stack with the actual speedup attached.
+	Stack core.Stack
+	// Result is the full multi-threaded simulation result.
+	Result sim.Result
+}
+
+// Error returns the signed validation error (Ŝ−S)/N of Formula (6).
+func (o Outcome) Error() float64 {
+	return (o.Estimated - o.Actual) / float64(o.Threads)
+}
+
+// Runner executes benchmarks against one machine configuration, caching
+// sequential reference times (they do not depend on the thread count).
+type Runner struct {
+	cfg sim.Config
+
+	mu      sync.Mutex
+	tsCache map[string]uint64
+}
+
+// NewRunner returns a Runner for the given machine configuration.
+func NewRunner(cfg sim.Config) *Runner {
+	return &Runner{cfg: cfg, tsCache: make(map[string]uint64)}
+}
+
+// Config returns the runner's machine configuration.
+func (r *Runner) Config() sim.Config { return r.cfg }
+
+// tsKey identifies a sequential run: workload identity plus the machine
+// parameters that affect single-threaded time.
+func (r *Runner) tsKey(b workload.Benchmark) string {
+	return fmt.Sprintf("%s|llc=%d|l1=%d", b.FullName(), r.cfg.LLC.SizeBytes, r.cfg.L1.SizeBytes)
+}
+
+// SequentialTime returns (computing and caching) the benchmark's
+// single-threaded execution time Ts on this machine.
+func (r *Runner) SequentialTime(b workload.Benchmark) (uint64, error) {
+	key := r.tsKey(b)
+	r.mu.Lock()
+	ts, ok := r.tsCache[key]
+	r.mu.Unlock()
+	if ok {
+		return ts, nil
+	}
+	prog, err := b.Spec.Sequential()
+	if err != nil {
+		return 0, err
+	}
+	cfg := r.cfg
+	cfg.Policy = b.Spec.TunePolicy(cfg.Policy)
+	res, err := sim.RunSequential(cfg, prog)
+	if err != nil {
+		return 0, fmt.Errorf("%s sequential: %w", b.FullName(), err)
+	}
+	r.mu.Lock()
+	r.tsCache[key] = res.Tp
+	r.mu.Unlock()
+	return res.Tp, nil
+}
+
+// Run executes benchmark b with threads threads on threads cores (the
+// paper's default of one thread per core) and returns the paired outcome.
+func (r *Runner) Run(b workload.Benchmark, threads int) (Outcome, error) {
+	return r.RunOn(b, threads, threads)
+}
+
+// RunOn executes b with the given software thread count on cores cores
+// (threads may exceed cores, as in Figure 7).
+func (r *Runner) RunOn(b workload.Benchmark, threads, cores int) (Outcome, error) {
+	ts, err := r.SequentialTime(b)
+	if err != nil {
+		return Outcome{}, err
+	}
+	cfg := r.cfg.WithCores(cores)
+	cfg.Policy = b.Spec.TunePolicy(cfg.Policy)
+	progs, err := b.Spec.Parallel(threads)
+	if err != nil {
+		return Outcome{}, err
+	}
+	res, err := sim.Run(cfg, progs, b.Spec.PipelineOptions(threads)...)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("%s x%d: %w", b.FullName(), threads, err)
+	}
+	stack := res.Stack(ts)
+	return Outcome{
+		Bench:     b,
+		Threads:   threads,
+		Ts:        ts,
+		Tp:        res.Tp,
+		Actual:    stack.ActualSpeedup,
+		Estimated: stack.Estimated(),
+		Stack:     stack,
+		Result:    res,
+	}, nil
+}

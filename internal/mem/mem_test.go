@@ -1,0 +1,247 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testCfg() Config {
+	return Config{
+		Banks:         8,
+		BusCycles:     16,
+		RowHitCycles:  90,
+		RowMissCycles: 210,
+		RowBytes:      4096,
+		LineBytes:     64,
+		ORAEntries:    8,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testCfg()
+	bad.RowMissCycles = 10 // faster than row hit
+	if err := bad.Validate(); err == nil {
+		t.Fatal("row miss < row hit accepted")
+	}
+	bad = testCfg()
+	bad.ORAEntries = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero ORA entries accepted")
+	}
+}
+
+func TestBankInterleaving(t *testing.T) {
+	c := testCfg()
+	// Consecutive lines rotate across banks.
+	for i := 0; i < 32; i++ {
+		addr := uint64(i * 64)
+		if got, want := c.Bank(addr), i%8; got != want {
+			t.Fatalf("Bank(line %d) = %d, want %d", i, got, want)
+		}
+	}
+	// A thread streaming lines revisits the same row linesPerRow times per
+	// bank before the row advances.
+	linesPerRow := int(c.RowBytes / c.LineBytes) // 64
+	r0 := c.Row(0)
+	lastSameRow := uint64((linesPerRow*8 - 1) * 64)
+	if c.Row(lastSameRow) != r0 {
+		t.Fatalf("row changed within the first stripe")
+	}
+	if c.Row(lastSameRow+64) == r0 {
+		t.Fatalf("row did not advance after the stripe")
+	}
+}
+
+func TestUncontendedRowHitLatency(t *testing.T) {
+	m := NewController(testCfg(), 2)
+	// First access opens the row (row miss).
+	r1 := m.Access(0, 0, 0)
+	if r1.RowHit {
+		t.Fatal("cold access cannot row-hit")
+	}
+	if r1.Latency != 210+16 {
+		t.Fatalf("cold latency = %d, want %d", r1.Latency, 210+16)
+	}
+	// Next access in the same row (same bank: stride 8 lines), after the
+	// bus cleared.
+	r2 := m.Access(1000, 0, 8*64)
+	if !r2.RowHit {
+		t.Fatal("same-row access must row-hit")
+	}
+	if r2.Latency != 90+16 {
+		t.Fatalf("row-hit latency = %d, want %d", r2.Latency, 90+16)
+	}
+}
+
+func TestBankConflictAttribution(t *testing.T) {
+	m := NewController(testCfg(), 2)
+	m.Access(0, 0, 0) // core 0 occupies bank 0 until t=210
+	r := m.Access(10, 1, 8*64*1024)
+	if r.BankWait == 0 {
+		t.Fatal("expected bank queueing")
+	}
+	if r.BankWaitOther != r.BankWait {
+		t.Fatalf("bank wait %d should be attributed to the other core (%d)",
+			r.BankWait, r.BankWaitOther)
+	}
+	// Same-core queueing is not interference.
+	m2 := NewController(testCfg(), 2)
+	m2.Access(0, 0, 0)
+	r2 := m2.Access(10, 0, 8*64*1024)
+	if r2.BankWaitOther != 0 {
+		t.Fatal("self-inflicted bank wait misattributed as interference")
+	}
+}
+
+func TestRowConflictTruthAndORA(t *testing.T) {
+	m := NewController(testCfg(), 2)
+	// Core 0 opens row A in bank 0; core 1 opens row B in bank 0;
+	// core 0 returns to row A: a row conflict another core caused.
+	rowStride := uint64(4096 * 8) // next row, same bank 0
+	m.Access(0, 0, 0)
+	m.Access(500, 1, rowStride)
+	r := m.Access(1500, 0, 8*64) // row A again (line 8: bank 0, row 0)
+	if r.RowHit {
+		t.Fatal("expected row conflict")
+	}
+	if !r.RowConflictOtherTruth {
+		t.Fatal("ground truth missed the inter-core row conflict")
+	}
+	if !r.RowConflictOtherORA {
+		t.Fatal("ORA missed the inter-core row conflict")
+	}
+	if r.RowPenalty != 120 {
+		t.Fatalf("row penalty = %d, want 120", r.RowPenalty)
+	}
+}
+
+func TestSelfRowConflictNotFlagged(t *testing.T) {
+	m := NewController(testCfg(), 1)
+	rowStride := uint64(4096 * 8)
+	m.Access(0, 0, 0)
+	m.Access(500, 0, rowStride) // core closes its own row
+	r := m.Access(1500, 0, 8*64)
+	if r.RowConflictOtherTruth {
+		t.Fatal("self-closed row flagged as interference (truth)")
+	}
+	if r.RowConflictOtherORA {
+		t.Fatal("self-closed row flagged as interference (ORA)")
+	}
+}
+
+func TestBusSerialization(t *testing.T) {
+	m := NewController(testCfg(), 2)
+	// Two simultaneous accesses to different banks collide on the bus.
+	m.Access(0, 0, 0)       // bank 0
+	r := m.Access(0, 1, 64) // bank 1, same start time
+	if r.BusWait == 0 {
+		t.Fatal("expected bus queueing for the second transfer")
+	}
+	if r.BusWaitOther != r.BusWait {
+		t.Fatal("bus wait should be attributed to the other core")
+	}
+}
+
+func TestWritebackOccupiesBus(t *testing.T) {
+	m := NewController(testCfg(), 2)
+	// The writeback grabs the bus at t=200..216; the access's data phase
+	// begins at t=210 (after its row activation) and must queue behind it.
+	m.Writeback(200, 0, 0)
+	r := m.Access(0, 1, 64)
+	if r.BusWait == 0 {
+		t.Fatal("writeback should delay the following transfer")
+	}
+	if m.Stats().Writebacks != 1 {
+		t.Fatal("writeback not counted")
+	}
+}
+
+func TestInterferenceHelpers(t *testing.T) {
+	r := AccessResult{
+		BankWaitOther: 30, BusWaitOther: 10,
+		RowPenalty:            120,
+		RowConflictOtherTruth: true,
+		RowConflictOtherORA:   false,
+	}
+	if got := r.InterferenceTruth(); got != 160 {
+		t.Fatalf("truth = %d, want 160", got)
+	}
+	if got := r.InterferenceEstimate(); got != 40 {
+		t.Fatalf("estimate = %d, want 40", got)
+	}
+}
+
+func TestORAReplacement(t *testing.T) {
+	o := NewORA(2)
+	o.Record(0, 100)
+	o.Record(1, 200)
+	if !o.Contains(0, 100) || !o.Contains(1, 200) {
+		t.Fatal("recorded rows missing")
+	}
+	o.Record(2, 300) // evicts LRU entry (bank 0)
+	if o.Contains(0, 100) {
+		t.Fatal("LRU entry survived capacity eviction")
+	}
+	if !o.Contains(2, 300) {
+		t.Fatal("new entry missing")
+	}
+	// One entry per bank: recording a new row in bank 1 replaces the old.
+	o.Record(1, 999)
+	if o.Contains(1, 200) {
+		t.Fatal("stale row retained for bank 1")
+	}
+	if !o.Contains(1, 999) {
+		t.Fatal("bank 1 row not updated")
+	}
+}
+
+func TestORASizeBytes(t *testing.T) {
+	if got := NewORA(8).SizeBytes(); got != 48 {
+		t.Fatalf("ORA size = %d, want 48 (paper budget)", got)
+	}
+}
+
+func TestAccessLatencyLowerBound(t *testing.T) {
+	// Property: latency >= row latency + bus cycles, and waits are
+	// consistent with the total.
+	f := func(seed uint64) bool {
+		m := NewController(testCfg(), 4)
+		rng := seed
+		now := uint64(0)
+		for i := 0; i < 200; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			addr := (rng >> 10) % (1 << 24) &^ 63
+			core := int(rng % 4)
+			now += rng % 300
+			r := m.Access(now, core, addr)
+			min := testCfg().RowHitCycles + testCfg().BusCycles
+			if r.Latency < min {
+				return false
+			}
+			if r.BankWaitOther > r.BankWait || r.BusWaitOther > r.BusWait {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowHitStatsAccumulate(t *testing.T) {
+	m := NewController(testCfg(), 1)
+	for i := 0; i < 64; i++ {
+		m.Access(uint64(i*300), 0, uint64(i*64*8)) // same bank 0, same row until stripe ends
+	}
+	st := m.Stats()
+	if st.Accesses != 64 {
+		t.Fatalf("accesses = %d", st.Accesses)
+	}
+	if st.RowHits == 0 {
+		t.Fatal("sequential same-bank stream should produce row hits")
+	}
+}

@@ -1,0 +1,285 @@
+// Package sched models the operating-system scheduler of the simulated
+// machine: thread-to-core placement, a global FIFO run queue with time
+// slicing, futex-style blocking and wake-up latencies, context-switch and
+// migration costs.
+//
+// The scheduler is what turns long synchronization waits into the paper's
+// *yielding* component: a thread that exceeds its spin grace period is
+// descheduled, the OS records the descheduled time, and (when more software
+// threads than cores exist, as in Figure 7) another ready thread gets the
+// core.
+package sched
+
+import "fmt"
+
+// Config describes the scheduler.
+type Config struct {
+	// TimeSliceCycles is the preemption quantum for ready threads competing
+	// for cores. Only relevant when threads > cores.
+	TimeSliceCycles uint64
+	// CtxSwitchCycles is charged each time a core switches threads.
+	CtxSwitchCycles uint64
+	// WakeLatencyCycles is the futex wake-up latency: the delay between a
+	// wake event and the thread becoming ready.
+	WakeLatencyCycles uint64
+	// MigrationCycles is the extra cost when a thread resumes on a core
+	// different from its last one (cold private caches, in our model a
+	// fixed charge).
+	MigrationCycles uint64
+	// DecisionCyclesPerCore models scheduler bookkeeping that grows with
+	// the number of cores; it reproduces the small efficiency loss the
+	// paper observes for the 16-core Linux scheduler in Figure 7.
+	DecisionCyclesPerCore uint64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.TimeSliceCycles == 0 {
+		return fmt.Errorf("sched: time slice must be positive")
+	}
+	return nil
+}
+
+// Default returns a configuration loosely modeled on a Linux CFS-like
+// scheduler at a 2 GHz clock.
+func Default() Config {
+	return Config{
+		TimeSliceCycles:       200_000,
+		CtxSwitchCycles:       900,
+		WakeLatencyCycles:     2_200,
+		MigrationCycles:       1_200,
+		DecisionCyclesPerCore: 28,
+	}
+}
+
+// ThreadState is the scheduler-visible state of a thread.
+type ThreadState uint8
+
+// Thread states.
+const (
+	// StateRunning: assigned to a core and executing.
+	StateRunning ThreadState = iota
+	// StateReady: runnable, waiting for a core.
+	StateReady
+	// StateBlocked: descheduled on a synchronization object (futex wait).
+	StateBlocked
+	// StateFinished: terminated.
+	StateFinished
+)
+
+// String returns the state name.
+func (s ThreadState) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateReady:
+		return "ready"
+	case StateBlocked:
+		return "blocked"
+	case StateFinished:
+		return "finished"
+	default:
+		return "unknown"
+	}
+}
+
+// ThreadStats are per-thread scheduler statistics.
+type ThreadStats struct {
+	// ReadyWaitCycles is time spent runnable but without a core (only
+	// non-zero when threads > cores).
+	ReadyWaitCycles uint64
+	// BlockedCycles is time spent descheduled on a synchronization object,
+	// measured from deschedule to becoming ready again (wake latency
+	// included). This is the OS-visible part of the yield component.
+	BlockedCycles uint64
+	// CtxSwitches counts times the thread was switched onto a core.
+	CtxSwitches uint64
+	// Migrations counts resumes on a different core than last time.
+	Migrations uint64
+}
+
+type threadInfo struct {
+	state        ThreadState
+	core         int // current core when running, else -1
+	lastCore     int
+	readySince   uint64
+	blockedSince uint64
+	availableAt  uint64 // earliest time a ready thread may start (wake latency)
+	sliceStart   uint64
+	stats        ThreadStats
+}
+
+// OS is the scheduler instance for one simulated machine.
+type OS struct {
+	cfg     Config
+	cores   int
+	threads []threadInfo
+	running []int // per core: thread id or -1
+	readyQ  []int // FIFO of ready thread ids
+}
+
+// New builds an OS managing threads software threads over cores cores and
+// performs initial placement: thread i starts on core i for i < cores; the
+// rest start ready in the run queue.
+func New(cfg Config, cores, threads int) *OS {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cores <= 0 || threads <= 0 {
+		panic("sched: cores and threads must be positive")
+	}
+	o := &OS{
+		cfg:     cfg,
+		cores:   cores,
+		threads: make([]threadInfo, threads),
+		running: make([]int, cores),
+	}
+	for c := range o.running {
+		o.running[c] = -1
+	}
+	for t := range o.threads {
+		o.threads[t] = threadInfo{state: StateReady, core: -1, lastCore: -1}
+		if t < cores {
+			o.threads[t].state = StateRunning
+			o.threads[t].core = t
+			o.threads[t].lastCore = t
+			o.running[t] = t
+		} else {
+			o.readyQ = append(o.readyQ, t)
+		}
+	}
+	return o
+}
+
+// Running returns the thread on core, or -1 when the core is idle.
+func (o *OS) Running(core int) int { return o.running[core] }
+
+// State returns the scheduler state of thread tid.
+func (o *OS) State(tid int) ThreadState { return o.threads[tid].state }
+
+// Stats returns the accumulated statistics of thread tid.
+func (o *OS) Stats(tid int) ThreadStats { return o.threads[tid].stats }
+
+// ReadyCount returns the number of threads waiting in the run queue.
+func (o *OS) ReadyCount() int { return len(o.readyQ) }
+
+// HasReady reports whether some ready thread could use a core now.
+func (o *OS) HasReady() bool { return len(o.readyQ) > 0 }
+
+// Block deschedules the running thread tid at time now (futex wait). Its
+// core becomes idle; call Schedule to refill it.
+func (o *OS) Block(tid int, now uint64) {
+	t := &o.threads[tid]
+	if t.state != StateRunning {
+		panic(fmt.Sprintf("sched: Block(%d) in state %v", tid, t.state))
+	}
+	o.running[t.core] = -1
+	t.state = StateBlocked
+	t.core = -1
+	t.blockedSince = now
+}
+
+// Wake makes a blocked thread ready at now; it becomes eligible to run
+// after the futex wake latency. Safe to call only on blocked threads.
+func (o *OS) Wake(tid int, now uint64) {
+	t := &o.threads[tid]
+	if t.state != StateBlocked {
+		panic(fmt.Sprintf("sched: Wake(%d) in state %v", tid, t.state))
+	}
+	ready := now + o.cfg.WakeLatencyCycles
+	t.stats.BlockedCycles += ready - t.blockedSince
+	t.state = StateReady
+	t.readySince = ready
+	t.availableAt = ready
+	o.readyQ = append(o.readyQ, tid)
+}
+
+// Finish marks a running thread as terminated and frees its core.
+func (o *OS) Finish(tid int, now uint64) {
+	t := &o.threads[tid]
+	if t.state != StateRunning {
+		panic(fmt.Sprintf("sched: Finish(%d) in state %v", tid, t.state))
+	}
+	o.running[t.core] = -1
+	t.state = StateFinished
+	t.core = -1
+}
+
+// Preempt moves the running thread on core back to the ready queue (time
+// slice expiry). The caller should only preempt when HasReady() is true.
+func (o *OS) Preempt(core int, now uint64) {
+	tid := o.running[core]
+	if tid < 0 {
+		return
+	}
+	t := &o.threads[tid]
+	o.running[core] = -1
+	t.state = StateReady
+	t.core = -1
+	t.readySince = now
+	t.availableAt = now
+	o.readyQ = append(o.readyQ, tid)
+}
+
+// SliceExpired reports whether the thread on core has exhausted its time
+// slice at now.
+func (o *OS) SliceExpired(core int, now uint64) bool {
+	tid := o.running[core]
+	if tid < 0 {
+		return false
+	}
+	return now-o.threads[tid].sliceStart >= o.cfg.TimeSliceCycles
+}
+
+// Schedule fills an idle core from the run queue at time now. Like Linux's
+// wake affinity, it prefers a ready thread that last ran on this core
+// (keeping private caches and the per-core accounting hardware warm; with
+// one thread per core this yields strict pinning), then a never-placed
+// thread, then the queue head. It returns the chosen thread and the time it
+// actually starts executing (after wake latency, context switch, migration
+// and scheduler decision overhead), or (-1, 0) when no thread is ready.
+func (o *OS) Schedule(core int, now uint64) (tid int, startAt uint64) {
+	if o.running[core] >= 0 || len(o.readyQ) == 0 {
+		return -1, 0
+	}
+	pick := -1
+	for i, cand := range o.readyQ {
+		if o.threads[cand].lastCore == -1 {
+			pick = i // never-placed threads first: they cannot be starved
+			break
+		}
+	}
+	if pick < 0 {
+		for i, cand := range o.readyQ {
+			if o.threads[cand].lastCore == core {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		pick = 0
+	}
+	tid = o.readyQ[pick]
+	o.readyQ = append(o.readyQ[:pick], o.readyQ[pick+1:]...)
+	t := &o.threads[tid]
+	start := now
+	if t.availableAt > start {
+		start = t.availableAt
+	}
+	if start > t.readySince {
+		t.stats.ReadyWaitCycles += start - t.readySince
+	}
+	start += o.cfg.CtxSwitchCycles + o.cfg.DecisionCyclesPerCore*uint64(o.cores)
+	if t.lastCore >= 0 && t.lastCore != core {
+		start += o.cfg.MigrationCycles
+		t.stats.Migrations++
+	}
+	t.stats.CtxSwitches++
+	t.state = StateRunning
+	t.core = core
+	t.lastCore = core
+	t.sliceStart = start
+	o.running[core] = tid
+	return tid, start
+}

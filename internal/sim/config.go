@@ -1,0 +1,141 @@
+// Package sim implements the CMP simulator that plays the role of the
+// paper's gem5 setup: a multi-core machine with private L1s, a shared LLC,
+// a banked open-page memory subsystem behind a shared bus, an OS scheduler,
+// and the per-thread cycle accounting architecture under evaluation.
+//
+// The engine is quantum-based (relaxed synchronization, as popularized by
+// Graphite/Sniper): cores advance in fixed quanta in core-ID order, and all
+// shared resources are reserved against monotone timelines, bounding
+// cross-core timing skew by one quantum while keeping whole runs
+// deterministic for a fixed configuration and workload seed.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/atd"
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/spin"
+	"repro/internal/syncprim"
+)
+
+// Config assembles the full machine description.
+type Config struct {
+	// Cores is the number of hardware contexts.
+	Cores int
+	// Quantum is the relaxed-synchronization quantum in cycles.
+	Quantum uint64
+	// MaxCycles aborts runaway simulations (safety net, not a tuning knob).
+	MaxCycles uint64
+
+	CPU cpu.Config
+	L1  cache.Config
+	LLC cache.Config
+	Mem mem.Config
+	// ATDSampleShift selects 1-in-2^shift LLC sets for ATD monitoring.
+	ATDSampleShift uint
+	Spin           spin.Config
+	Sched          sched.Config
+	Policy         syncprim.Policy
+}
+
+// Default returns the paper's machine (Section 5): four-wide out-of-order
+// cores, 64 KB private L1 D-caches, a 2 MB 16-way shared LLC, and a shared
+// bus in front of 8 memory banks.
+func Default() Config {
+	return Config{
+		Cores:     16,
+		Quantum:   100,
+		MaxCycles: 4_000_000_000,
+		CPU:       cpu.Default(),
+		L1: cache.Config{
+			SizeBytes: 64 << 10,
+			Ways:      8,
+			LineBytes: 64,
+		},
+		LLC: cache.Config{
+			SizeBytes: 2 << 20,
+			Ways:      16,
+			LineBytes: 64,
+		},
+		Mem: mem.Config{
+			Banks:         8,
+			BusCycles:     16,
+			RowHitCycles:  90,
+			RowMissCycles: 210,
+			RowBytes:      4 << 10,
+			LineBytes:     64,
+			ORAEntries:    8,
+		},
+		ATDSampleShift: 5,
+		Spin: spin.Config{
+			TableEntries: 8,
+			Threshold:    16,
+		},
+		Sched:  sched.Default(),
+		Policy: syncprim.DefaultPolicy(),
+	}
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.Cores <= 0 || c.Cores > 64 {
+		return fmt.Errorf("sim: cores must be in [1,64], got %d", c.Cores)
+	}
+	if c.Quantum == 0 {
+		return fmt.Errorf("sim: quantum must be positive")
+	}
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
+	if err := c.L1.Validate(); err != nil {
+		return err
+	}
+	if err := c.LLC.Validate(); err != nil {
+		return err
+	}
+	if err := c.Mem.Validate(); err != nil {
+		return err
+	}
+	if err := c.Spin.Validate(); err != nil {
+		return err
+	}
+	if err := c.Sched.Validate(); err != nil {
+		return err
+	}
+	if err := c.Policy.Validate(); err != nil {
+		return err
+	}
+	if c.LLC.Sets()>>c.ATDSampleShift == 0 {
+		return fmt.Errorf("sim: ATD sample shift %d too large for %d LLC sets",
+			c.ATDSampleShift, c.LLC.Sets())
+	}
+	return nil
+}
+
+// WithCores returns a copy of the configuration resized to n cores.
+func (c Config) WithCores(n int) Config {
+	c.Cores = n
+	return c
+}
+
+// WithLLCSize returns a copy with the LLC capacity replaced (Figure 9's
+// sweep parameter).
+func (c Config) WithLLCSize(bytes int64) Config {
+	c.LLC.SizeBytes = bytes
+	return c
+}
+
+// atdConfig derives the per-core ATD geometry from the LLC.
+func (c Config) atdConfig(sampleShift uint) atd.Config {
+	return atd.Config{
+		Sets:        c.LLC.Sets(),
+		Ways:        c.LLC.Ways,
+		LineBytes:   c.LLC.LineBytes,
+		SampleShift: sampleShift,
+		TagBits:     24,
+	}
+}

@@ -1,0 +1,449 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/atd"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/spin"
+	"repro/internal/syncprim"
+	"repro/internal/trace"
+)
+
+// waitKind identifies what a blocked thread is waiting on.
+type waitKind uint8
+
+const (
+	waitNone waitKind = iota
+	waitLock
+	waitBarrier
+	waitQueuePop
+	waitQueuePush
+)
+
+// thread is the runtime state of one software thread.
+type thread struct {
+	id   int
+	prog trace.Program
+	fb   trace.Feedback
+
+	// time is the thread's local execution cursor in cycles.
+	time     uint64
+	finished bool
+
+	// Blocking-wait state.
+	waiting     bool
+	kind        waitKind
+	waitID      uint32
+	waitStart   uint64
+	parked      bool   // OS has descheduled the thread (futex wait)
+	parkedAt    uint64 // when it parked
+	granted     bool
+	grantAt     uint64 // effective grant time (before handoff/wake latency)
+	grantPopOK  bool   // result for queue-pop grants
+	grantHanded bool   // lock/queue grants transfer ownership directly
+
+	det *spin.Detector
+	ct  core.ThreadCounters
+}
+
+// Machine is one simulated CMP executing a set of software threads.
+type Machine struct {
+	cfg Config
+
+	clock      uint64
+	hier       *cache.Hierarchy
+	memc       *mem.Controller
+	atds       []*atd.Directory // per core: sampled (the hardware proposal)
+	oracleATDs []*atd.Directory // per core: full coverage (ground truth)
+	os         *sched.OS
+
+	locks    map[uint32]*syncprim.Lock
+	barriers map[uint32]*syncprim.Barrier
+	queues   map[uint32]*syncprim.Queue
+
+	threads    []*thread
+	coreIdleAt []uint64
+	finished   int
+}
+
+// NewMachine builds a machine executing one program per software thread.
+// len(progs) may exceed cfg.Cores (the OS time-slices, Figure 7) but must be
+// at least 1.
+func NewMachine(cfg Config, progs []trace.Program) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("sim: no thread programs")
+	}
+	m := &Machine{
+		cfg:        cfg,
+		hier:       cache.NewHierarchy(cfg.Cores, cfg.L1, cfg.LLC),
+		memc:       mem.NewController(cfg.Mem, cfg.Cores),
+		os:         sched.New(cfg.Sched, cfg.Cores, len(progs)),
+		locks:      make(map[uint32]*syncprim.Lock),
+		barriers:   make(map[uint32]*syncprim.Barrier),
+		queues:     make(map[uint32]*syncprim.Queue),
+		coreIdleAt: make([]uint64, cfg.Cores),
+	}
+	m.atds = make([]*atd.Directory, cfg.Cores)
+	m.oracleATDs = make([]*atd.Directory, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		m.atds[c] = atd.New(cfg.atdConfig(cfg.ATDSampleShift))
+		m.oracleATDs[c] = atd.New(cfg.atdConfig(0))
+	}
+	m.threads = make([]*thread, len(progs))
+	for i, p := range progs {
+		m.threads[i] = &thread{
+			id:   i,
+			prog: p,
+			det:  spin.NewDetector(cfg.Spin),
+		}
+	}
+	return m, nil
+}
+
+// lock returns (creating if needed) the lock with the given id.
+func (m *Machine) lock(id uint32) *syncprim.Lock {
+	l, ok := m.locks[id]
+	if !ok {
+		l = syncprim.NewLock()
+		m.locks[id] = l
+	}
+	return l
+}
+
+// barrier returns the barrier with the given id, created on first use with
+// as many parties as there are software threads.
+func (m *Machine) barrier(id uint32) *syncprim.Barrier {
+	b, ok := m.barriers[id]
+	if !ok {
+		b = syncprim.NewBarrier(len(m.threads))
+		m.barriers[id] = b
+	}
+	return b
+}
+
+// queue returns the queue with the given id, created on first use with a
+// default capacity; workloads can size queues via RegisterQueue.
+func (m *Machine) queue(id uint32) *syncprim.Queue {
+	q, ok := m.queues[id]
+	if !ok {
+		q = syncprim.NewQueue(16)
+		m.queues[id] = q
+	}
+	return q
+}
+
+// RegisterQueue pre-creates queue id with the given capacity.
+func (m *Machine) RegisterQueue(id uint32, capacity int) {
+	m.queues[id] = syncprim.NewQueue(capacity)
+}
+
+// RegisterBarrier pre-creates barrier id spanning parties threads.
+func (m *Machine) RegisterBarrier(id uint32, parties int) {
+	m.barriers[id] = syncprim.NewBarrier(parties)
+}
+
+// Synthetic addresses and PCs for synchronization words, consumed by the
+// spin detector. Placed far above workload data regions.
+func syncAddr(kind waitKind, id uint32) uint64 {
+	return 0xF000_0000_0000 + uint64(kind)<<32 + uint64(id)*64
+}
+
+func syncPC(kind waitKind, id uint32) uint64 {
+	return 0xE000_0000 + uint64(kind)<<20 + uint64(id)*16
+}
+
+// Run executes the machine to completion and returns the result.
+func (m *Machine) Run() (Result, error) {
+	for m.finished < len(m.threads) {
+		if m.clock >= m.cfg.MaxCycles {
+			return Result{}, fmt.Errorf("sim: exceeded MaxCycles=%d with %d/%d threads finished",
+				m.cfg.MaxCycles, m.finished, len(m.threads))
+		}
+		qEnd := m.clock + m.cfg.Quantum
+		for c := 0; c < m.cfg.Cores; c++ {
+			m.runCore(c, qEnd)
+		}
+		m.clock = qEnd
+	}
+	return m.result(), nil
+}
+
+// runCore advances core c until the quantum boundary.
+func (m *Machine) runCore(c int, qEnd uint64) {
+	for {
+		tid := m.os.Running(c)
+		if tid < 0 {
+			// Idle core: try to pull a ready thread.
+			if !m.os.HasReady() {
+				return
+			}
+			now := m.coreIdleAt[c]
+			if now < qEnd-m.cfg.Quantum {
+				now = qEnd - m.cfg.Quantum
+			}
+			if now >= qEnd {
+				return
+			}
+			ntid, startAt := m.os.Schedule(c, now)
+			if ntid < 0 {
+				return
+			}
+			t := m.threads[ntid]
+			if startAt > t.time {
+				t.time = startAt
+			}
+			if t.waiting {
+				// Woken from a parked synchronization wait.
+				m.finishWait(t, t.time)
+			}
+			continue
+		}
+
+		t := m.threads[tid]
+		if t.time >= qEnd {
+			return
+		}
+
+		if t.waiting {
+			if t.granted {
+				resume := t.grantAt + m.cfg.Policy.HandoffCycles
+				if resume > qEnd {
+					return
+				}
+				if resume > t.time {
+					t.time = resume
+				}
+				m.finishWait(t, t.time)
+				continue
+			}
+			// Still waiting: park once the spin grace period expires.
+			parkAt := t.waitStart + m.grace(t.kind)
+			if parkAt < qEnd {
+				t.parked = true
+				t.parkedAt = parkAt
+				m.os.Block(t.id, parkAt)
+				m.coreIdleAt[c] = parkAt
+				continue
+			}
+			return // spinning through the rest of the quantum
+		}
+
+		// Preempt on slice expiry when others are ready.
+		if m.os.HasReady() && m.os.SliceExpired(c, t.time) {
+			m.os.Preempt(c, t.time)
+			m.coreIdleAt[c] = t.time
+			continue
+		}
+
+		if blocked := m.execOps(t, c, qEnd); blocked {
+			continue // wait state handled on the next iteration
+		}
+		if t.finished {
+			continue
+		}
+		return // quantum exhausted
+	}
+}
+
+// execOps executes thread t's operations on core c until the quantum ends,
+// the thread blocks, or it finishes. It reports whether the thread entered
+// a blocking wait.
+func (m *Machine) execOps(t *thread, c int, qEnd uint64) (blocked bool) {
+	pol := &m.cfg.Policy
+	for t.time < qEnd && !t.finished {
+		op := t.prog.Next(t.fb)
+		switch op.Kind {
+		case trace.KindCompute:
+			t.time += m.cfg.CPU.ComputeCycles(uint64(op.N))
+			t.ct.Instrs += uint64(op.N)
+			if op.Overhead {
+				t.ct.OverheadInstrs += uint64(op.N)
+			}
+
+		case trace.KindLoad, trace.KindStore:
+			t.ct.Instrs += uint64(op.N)
+			if op.Overhead {
+				t.ct.OverheadInstrs += uint64(op.N)
+			}
+			m.memAccess(t, c, op)
+
+		case trace.KindLock:
+			t.time += pol.AcquireCycles
+			if m.lock(op.ID).Acquire(t.id) {
+				break
+			}
+			m.beginWait(t, waitLock, op.ID)
+			return true
+
+		case trace.KindUnlock:
+			t.time += pol.AcquireCycles
+			if next, transferred := m.lock(op.ID).Release(m.spinning); transferred {
+				m.grantWaiter(m.threads[next], t.time, true)
+			}
+
+		case trace.KindBarrier:
+			t.time += pol.AcquireCycles
+			released, last := m.barrier(op.ID).Arrive(t.id)
+			if last {
+				for _, w := range released {
+					m.grantWaiter(m.threads[w], t.time, true)
+				}
+				break
+			}
+			m.beginWait(t, waitBarrier, op.ID)
+			return true
+
+		case trace.KindPush:
+			t.time += pol.QueueOpCycles
+			granted, ok := m.queue(op.ID).Push(t.id, m.spinning)
+			if ok {
+				if granted >= 0 {
+					m.grantWaiter(m.threads[granted], t.time, true)
+				}
+				break
+			}
+			m.beginWait(t, waitQueuePush, op.ID)
+			return true
+
+		case trace.KindPop:
+			t.time += pol.QueueOpCycles
+			granted, ok, closed := m.queue(op.ID).Pop(t.id, m.spinning)
+			if ok {
+				t.fb.PopOK = true
+				if granted >= 0 {
+					m.grantWaiter(m.threads[granted], t.time, true)
+				}
+				break
+			}
+			if closed {
+				t.fb.PopOK = false
+				break
+			}
+			m.beginWait(t, waitQueuePop, op.ID)
+			return true
+
+		case trace.KindCloseQueue:
+			t.time += pol.QueueOpCycles
+			for _, w := range m.queue(op.ID).Close() {
+				m.grantWaiter(m.threads[w], t.time, false)
+			}
+
+		case trace.KindEnd:
+			t.finished = true
+			t.ct.FinishTime = t.time
+			m.os.Finish(t.id, t.time)
+			m.coreIdleAt[c] = t.time
+			m.finished++
+			return false
+
+		default:
+			panic(fmt.Sprintf("sim: unknown op kind %v", op.Kind))
+		}
+	}
+	return false
+}
+
+// spinning reports whether waiter tid is still actively spinning (not yet
+// parked); used as the barging preference for lock and queue handoffs.
+func (m *Machine) spinning(tid int) bool {
+	return !m.threads[tid].parked
+}
+
+// beginWait records that t started a blocking wait at its current time.
+func (m *Machine) beginWait(t *thread, k waitKind, id uint32) {
+	t.waiting = true
+	t.kind = k
+	t.waitID = id
+	t.waitStart = t.time
+	t.parked = false
+	t.granted = false
+	t.grantPopOK = true
+}
+
+// grantWaiter delivers a grant (lock ownership, barrier release, queue item
+// or close notification) to waiting thread w at time g.
+func (m *Machine) grantWaiter(w *thread, g uint64, popOK bool) {
+	if !w.waiting || w.granted {
+		panic(fmt.Sprintf("sim: grant to thread %d in unexpected state", w.id))
+	}
+	if g < w.waitStart {
+		// Bounded quantum skew can deliver a grant "before" the wait began;
+		// clamp so durations stay non-negative.
+		g = w.waitStart
+	}
+	w.granted = true
+	w.grantAt = g
+	w.grantPopOK = popOK
+	grace := m.grace(w.kind)
+	if w.parked {
+		m.os.Wake(w.id, g)
+		return
+	}
+	if g > w.waitStart+grace {
+		// The waiter logically parked before the grant but the engine had
+		// not materialized the park yet (it happens lazily at quantum
+		// granularity). Park and wake to keep OS bookkeeping exact.
+		w.parked = true
+		w.parkedAt = w.waitStart + grace
+		m.os.Block(w.id, w.parkedAt)
+		m.os.Wake(w.id, g)
+	}
+}
+
+// grace returns the spin-then-yield threshold for a wait kind.
+func (m *Machine) grace(k waitKind) uint64 {
+	switch k {
+	case waitLock:
+		return m.cfg.Policy.LockSpinGrace
+	case waitBarrier:
+		return m.cfg.Policy.BarrierSpinGrace
+	default:
+		return m.cfg.Policy.QueueSpinGrace
+	}
+}
+
+// finishWait finalizes accounting when thread t resumes at time resume.
+func (m *Machine) finishWait(t *thread, resume uint64) {
+	pol := &m.cfg.Policy
+	grace := m.grace(t.kind)
+
+	spinEnd := resume
+	if t.parked {
+		spinEnd = t.parkedAt
+		if resume > t.parkedAt {
+			t.ct.YieldCycles += resume - t.parkedAt
+		}
+	}
+	if spinEnd > t.waitStart {
+		spinDur := spinEnd - t.waitStart
+		if spinDur > grace+pol.HandoffCycles {
+			spinDur = grace + pol.HandoffCycles
+		}
+		t.ct.OracleSpinCycles += spinDur
+		detected := spin.FeedEpisode(t.det, spin.Episode{
+			PC:       syncPC(t.kind, t.waitID),
+			Addr:     syncAddr(t.kind, t.waitID),
+			Start:    t.waitStart,
+			Period:   pol.SpinIterationCycles,
+			End:      t.waitStart + spinDur,
+			OldValue: 0,
+			NewValue: 1,
+		})
+		t.ct.SpinDetected += detected
+	}
+
+	if t.kind == waitQueuePop {
+		t.fb.PopOK = t.grantPopOK
+	}
+	t.waiting = false
+	t.kind = waitNone
+	t.parked = false
+	t.granted = false
+}

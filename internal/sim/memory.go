@@ -1,0 +1,91 @@
+package sim
+
+import "repro/internal/trace"
+
+// memAccess walks one load or store through the memory hierarchy, charging
+// stalls to the thread and feeding both the estimator's accounting hardware
+// (sampled ATD, ORA-based memory interference) and the oracle (full-coverage
+// ATD, exact interference attribution).
+func (m *Machine) memAccess(t *thread, c int, op trace.Op) {
+	// Dispatch slots of the memory instruction itself.
+	t.time += m.cfg.CPU.ComputeCycles(uint64(op.N))
+	isLoad := op.Kind == trace.KindLoad
+
+	out := m.hier.Access(c, op.Addr, !isLoad)
+	if out.L1Hit {
+		// L1 hits are hidden by the out-of-order window; upgrades expose a
+		// short invalidation round-trip.
+		if out.Upgrade {
+			t.time += m.cfg.CPU.UpgradeStall
+		}
+		return
+	}
+
+	// The access reaches the shared LLC: update both tag directories. The
+	// hardware ATD observes every LLC access of its core (paper Section
+	// 4.1); only sampled sets are backed by state.
+	t.ct.LLCAccesses++
+	estHit, sampled := m.atds[c].Access(op.Addr)
+	if sampled {
+		t.ct.SampledATDAccesses++
+	}
+	oraHit, _ := m.oracleATDs[c].Access(op.Addr)
+
+	if out.LLCHit {
+		stall := m.cfg.CPU.LLCHitStall
+		if out.DirtyForward {
+			stall += m.cfg.CPU.CoherenceForwardStall
+		}
+		if isLoad {
+			t.time += stall
+			if out.CoherenceMiss {
+				// Ground truth only: the estimator ignores coherency
+				// (paper Section 4.5).
+				t.ct.OracleCoherenceStall += stall
+			}
+			// Positive interference: a hit that a private LLC would have
+			// missed. Loads only — store hits avoid no exposed stall.
+			if sampled && !estHit {
+				t.ct.SampledInterThreadHits++
+			}
+			if !oraHit {
+				t.ct.OracleInterThreadHits++
+			}
+		}
+		return
+	}
+
+	// LLC miss: go to memory. Stores also consume bus/bank bandwidth (they
+	// interfere with other cores) but retire through the store buffer and
+	// do not stall this thread.
+	res := m.memc.Access(t.time, c, op.Addr)
+	if out.LLCVictimDirty {
+		m.memc.Writeback(t.time, c, out.LLCVictimAddr)
+	}
+	if !isLoad {
+		return
+	}
+
+	stall := m.cfg.CPU.BlockingMissStall(res.Latency)
+	t.time += stall
+	t.ct.LLCLoadMisses++
+	t.ct.StallLLCLoadMiss += stall
+
+	interfEst := m.cfg.CPU.ExposedInterference(res.InterferenceEstimate(), res.Latency)
+	interfTruth := m.cfg.CPU.ExposedInterference(res.InterferenceTruth(), res.Latency)
+	t.ct.MemInterferenceEst += interfEst
+	t.ct.OracleMemInterference += interfTruth
+
+	if sampled && estHit {
+		// Inter-thread miss: a private LLC would have hit, so the entire
+		// exposed stall is negative LLC interference. Remember its memory
+		// interference too, so the post-processing can avoid counting it
+		// twice (once in NegLLC, once in NegMem).
+		t.ct.SampledInterThreadMissStall += stall
+		t.ct.SampledInterThreadMissMemInterf += interfEst
+	}
+	if oraHit {
+		t.ct.OracleInterThreadMissStall += stall
+		t.ct.OracleInterThreadMissMemInterf += interfTruth
+	}
+}

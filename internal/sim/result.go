@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Cores and Threads describe the run shape.
+	Cores   int
+	Threads int
+	// Tp is the parallel-section execution time: the finish time of the
+	// slowest thread.
+	Tp uint64
+	// PerThread holds the raw accounting counters, one per software thread.
+	PerThread []core.ThreadCounters
+	// SchedStats holds per-thread OS statistics.
+	SchedStats []sched.ThreadStats
+	// Estimated is the component decomposition the accounting hardware
+	// produces (sampled ATD, ORA, Tian detector, OS yield bookkeeping).
+	Estimated core.Components
+	// Oracle is the ground-truth decomposition from the simulator's
+	// omniscient view, including the components hardware cannot see.
+	Oracle core.Components
+	// CacheStats and MemStats expose substrate-level counters.
+	CacheStats cache.HierarchyStats
+	MemStats   mem.Stats
+	// TotalInstrs and TotalOverheadInstrs aggregate instruction counts.
+	TotalInstrs         uint64
+	TotalOverheadInstrs uint64
+}
+
+// Stack assembles the estimated speedup stack of the run. If ts (the
+// single-threaded execution time of the same work) is non-zero the stack
+// also records the actual speedup Ts/Tp.
+func (r Result) Stack(ts uint64) core.Stack {
+	s := core.Stack{N: r.Threads, Tp: r.Tp, Components: r.Estimated}
+	if ts != 0 {
+		s.ActualSpeedup = float64(ts) / float64(r.Tp)
+	}
+	return s
+}
+
+// EstimatedSpeedup returns Ŝ per Formula (4).
+func (r Result) EstimatedSpeedup() float64 {
+	return r.Stack(0).Estimated()
+}
+
+// result gathers counters from the machine after completion.
+func (m *Machine) result() Result {
+	r := Result{
+		Cores:      m.cfg.Cores,
+		Threads:    len(m.threads),
+		CacheStats: *m.hier.Stats(),
+		MemStats:   m.memc.Stats(),
+	}
+	r.PerThread = make([]core.ThreadCounters, len(m.threads))
+	r.SchedStats = make([]sched.ThreadStats, len(m.threads))
+	for i, t := range m.threads {
+		r.PerThread[i] = t.ct
+		r.SchedStats[i] = m.os.Stats(i)
+		if t.ct.FinishTime > r.Tp {
+			r.Tp = t.ct.FinishTime
+		}
+		r.TotalInstrs += t.ct.Instrs
+		r.TotalOverheadInstrs += t.ct.OverheadInstrs
+	}
+	r.Estimated = core.EstimateComponents(r.Tp, r.PerThread)
+	r.Oracle = core.OracleComponents(r.Tp, r.PerThread,
+		1/float64(m.cfg.CPU.DispatchWidth))
+	return r
+}
+
+// Option customizes a machine before it runs.
+type Option func(*Machine)
+
+// WithQueue pre-creates bounded queue id with the given capacity.
+func WithQueue(id uint32, capacity int) Option {
+	return func(m *Machine) { m.RegisterQueue(id, capacity) }
+}
+
+// WithBarrier pre-creates barrier id spanning parties threads (default is
+// all threads).
+func WithBarrier(id uint32, parties int) Option {
+	return func(m *Machine) { m.RegisterBarrier(id, parties) }
+}
+
+// Run builds a machine and executes it to completion.
+func Run(cfg Config, progs []trace.Program, opts ...Option) (Result, error) {
+	m, err := NewMachine(cfg, progs)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m.Run()
+}
+
+// RunSequential executes prog alone on a single-core machine with the same
+// cache and memory parameters; its Tp is the single-threaded reference time
+// Ts of the speedup definition, Formula (1).
+func RunSequential(cfg Config, prog trace.Program, opts ...Option) (Result, error) {
+	return Run(cfg.WithCores(1), []trace.Program{prog}, opts...)
+}

@@ -1,0 +1,202 @@
+// Package stack renders speedup stacks and derives the paper's
+// presentation artifacts from them: ASCII stacked bars (Figure 5), the
+// benchmark classification tree (Figure 6), and interference-component
+// breakdowns (Figures 8 and 9).
+package stack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Component names follow the paper's Figure 5/6 vocabulary.
+const (
+	CompCache     = "cache"
+	CompMemory    = "memory"
+	CompSpinning  = "spinning"
+	CompYielding  = "yielding"
+	CompImbalance = "imbalance"
+)
+
+// NegligibleThreshold is the speedup-units floor below which a component is
+// not considered a scaling delimiter (used by the Figure 6 classification).
+const NegligibleThreshold = 0.30
+
+// Named returns the classification components of a stack in speedup units.
+// The cache component is the *net* negative LLC interference, matching how
+// Figure 6 ranks delimiters.
+func Named(s core.Stack) map[string]float64 {
+	tp := float64(s.Tp)
+	net := s.Components.Net()
+	if net < 0 {
+		net = 0
+	}
+	return map[string]float64{
+		CompCache:     net / tp,
+		CompMemory:    s.Components.NegMem / tp,
+		CompSpinning:  s.Components.Spin / tp,
+		CompYielding:  s.Components.Yield / tp,
+		CompImbalance: s.Components.Imbalance / tp,
+	}
+}
+
+// TopComponents returns the up-to-k largest non-negligible components of a
+// stack, largest first.
+func TopComponents(s core.Stack, k int) []string {
+	named := Named(s)
+	type kv struct {
+		name string
+		v    float64
+	}
+	list := make([]kv, 0, len(named))
+	for n, v := range named {
+		if v >= NegligibleThreshold {
+			list = append(list, kv{n, v})
+		}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].v != list[j].v {
+			return list[i].v > list[j].v
+		}
+		return list[i].name < list[j].name
+	})
+	if len(list) > k {
+		list = list[:k]
+	}
+	out := make([]string, len(list))
+	for i, e := range list {
+		out[i] = e.name
+	}
+	return out
+}
+
+// ScalingClass is the Figure 6 grouping.
+type ScalingClass string
+
+// Scaling classes per the paper: good >= 10x, poor < 5x, else moderate
+// (for 16 threads).
+const (
+	ClassGood     ScalingClass = "good"
+	ClassModerate ScalingClass = "moderate"
+	ClassPoor     ScalingClass = "poor"
+)
+
+// Classify buckets a 16-thread speedup into the paper's classes.
+func Classify(speedup float64) ScalingClass {
+	switch {
+	case speedup >= 10:
+		return ClassGood
+	case speedup < 5:
+		return ClassPoor
+	default:
+		return ClassModerate
+	}
+}
+
+// Bar is one rendered speedup stack.
+type Bar struct {
+	Label string
+	Stack core.Stack
+}
+
+// Render draws a set of speedup stacks as horizontal ASCII bars, one block
+// per segment, in the paper's Figure 5 component order (base speedup at the
+// bottom/left, then positive LLC interference, then the delimiters).
+func Render(bars []Bar, width int) string {
+	if width <= 0 {
+		width = 64
+	}
+	var b strings.Builder
+	for _, bar := range bars {
+		b.WriteString(renderOne(bar, width))
+		b.WriteByte('\n')
+	}
+	b.WriteString(legend())
+	return b.String()
+}
+
+type segment struct {
+	name  string
+	runeC byte
+	value float64
+}
+
+// segments decomposes a stack into its drawing order. All values are in
+// speedup units and sum to N.
+func segments(s core.Stack) []segment {
+	tp := float64(s.Tp)
+	base := s.Base()
+	if base < 0 {
+		base = 0
+	}
+	pos := s.Components.PosLLC / tp
+	net := s.Components.Net() / tp
+	if net < 0 {
+		net = 0
+	}
+	return []segment{
+		{"base speedup", '#', base},
+		{"positive LLC interference", '+', pos},
+		{"net negative LLC interference", '.', net},
+		{"negative memory interference", 'm', s.Components.NegMem / tp},
+		{"spinning", 's', s.Components.Spin / tp},
+		{"yielding", 'y', s.Components.Yield / tp},
+		{"imbalance", 'i', s.Components.Imbalance / tp},
+	}
+}
+
+func renderOne(bar Bar, width int) string {
+	s := bar.Stack
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s N=%-3d est=%5.2f", bar.Label, s.N, s.Estimated())
+	if s.ActualSpeedup > 0 {
+		fmt.Fprintf(&sb, " act=%5.2f", s.ActualSpeedup)
+	}
+	sb.WriteString(" |")
+	perUnit := float64(width) / float64(s.N)
+	total := 0
+	for _, seg := range segments(s) {
+		n := int(seg.value*perUnit + 0.5)
+		if total+n > width {
+			n = width - total
+		}
+		for i := 0; i < n; i++ {
+			sb.WriteByte(seg.runeC)
+		}
+		total += n
+	}
+	for total < width {
+		sb.WriteByte(' ')
+		total++
+	}
+	sb.WriteString("|")
+	return sb.String()
+}
+
+func legend() string {
+	return "legend: #=base speedup  +=positive LLC  .=net negative LLC  " +
+		"m=memory  s=spinning  y=yielding  i=imbalance\n"
+}
+
+// Table renders a numeric component table for a set of stacks, one row per
+// bar, in speedup units.
+func Table(bars []Bar) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %5s %7s %7s %7s %7s %7s %7s %7s %7s\n",
+		"benchmark", "N", "est", "actual", "posLLC", "netLLC", "memory",
+		"spin", "yield", "imbal")
+	for _, bar := range bars {
+		s := bar.Stack
+		tp := float64(s.Tp)
+		net := s.Components.Net() / tp
+		fmt.Fprintf(&b, "%-28s %5d %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f\n",
+			bar.Label, s.N, s.Estimated(), s.ActualSpeedup,
+			s.Components.PosLLC/tp, net, s.Components.NegMem/tp,
+			s.Components.Spin/tp, s.Components.Yield/tp,
+			s.Components.Imbalance/tp)
+	}
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package stack
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func sample() core.Stack {
+	return core.Stack{
+		N:  16,
+		Tp: 1000,
+		Components: core.Components{
+			NegLLC: 1500, PosLLC: 500, NegMem: 1000,
+			Spin: 2000, Yield: 4000, Imbalance: 100,
+		},
+		ActualSpeedup: 7.2,
+	}
+}
+
+func TestNamedUsesNetCache(t *testing.T) {
+	n := Named(sample())
+	if n[CompCache] != 1.0 { // (1500-500)/1000
+		t.Fatalf("cache = %v", n[CompCache])
+	}
+	if n[CompMemory] != 1.0 || n[CompSpinning] != 2.0 || n[CompYielding] != 4.0 {
+		t.Fatalf("components wrong: %v", n)
+	}
+	// Net below zero clamps to zero.
+	s := sample()
+	s.Components.PosLLC = 5000
+	if Named(s)[CompCache] != 0 {
+		t.Fatal("negative net not clamped")
+	}
+}
+
+func TestTopComponentsOrderAndThreshold(t *testing.T) {
+	got := TopComponents(sample(), 3)
+	want := []string{CompYielding, CompSpinning, CompCache}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	// cache and memory tie at 1.0; tie-break is alphabetical (cache).
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Components below the threshold disappear.
+	s := sample()
+	s.Components = core.Components{Yield: 4000}
+	if got := TopComponents(s, 3); len(got) != 1 || got[0] != CompYielding {
+		t.Fatalf("got %v", got)
+	}
+	// k truncates.
+	if got := TopComponents(sample(), 1); len(got) != 1 {
+		t.Fatalf("k=1 returned %v", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		s    float64
+		want ScalingClass
+	}{
+		{15.9, ClassGood}, {10.0, ClassGood}, {9.99, ClassModerate},
+		{5.0, ClassModerate}, {4.99, ClassPoor}, {1.2, ClassPoor},
+	}
+	for _, c := range cases {
+		if got := Classify(c.s); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestRenderContainsSegmentsAndLegend(t *testing.T) {
+	out := Render([]Bar{{Label: "bench", Stack: sample()}}, 64)
+	if !strings.Contains(out, "bench") {
+		t.Fatal("label missing")
+	}
+	if !strings.Contains(out, "est=") || !strings.Contains(out, "act=") {
+		t.Fatal("speedup annotations missing")
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Fatal("legend missing")
+	}
+	// Bar body must be width-bounded between the pipes.
+	lines := strings.Split(out, "\n")
+	bar := lines[0]
+	inner := bar[strings.Index(bar, "|")+1 : strings.LastIndex(bar, "|")]
+	if len(inner) != 64 {
+		t.Fatalf("bar width = %d, want 64", len(inner))
+	}
+}
+
+func TestRenderSegmentsSumToN(t *testing.T) {
+	s := sample()
+	total := 0.0
+	for _, seg := range segments(s) {
+		total += seg.value
+	}
+	// base + pos + net + mem + spin + yield + imbalance = N (up to the
+	// clamping of negative values, absent here).
+	if total < 15.99 || total > 16.01 {
+		t.Fatalf("segments sum to %v, want 16", total)
+	}
+}
+
+func TestTableHasAllColumns(t *testing.T) {
+	out := Table([]Bar{{Label: "x", Stack: sample()}})
+	for _, col := range []string{"est", "actual", "posLLC", "netLLC", "memory", "spin", "yield", "imbal"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("column %q missing in %q", col, out)
+		}
+	}
+	if !strings.Contains(out, "7.20") {
+		t.Fatal("actual speedup missing from table body")
+	}
+}
+
+func TestRenderDefaultWidth(t *testing.T) {
+	out := Render([]Bar{{Label: "b", Stack: sample()}}, 0)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,294 @@
+// Package syncprim implements the synchronization substrate the simulated
+// workloads run on: test-and-test-and-set spin locks with FIFO handoff,
+// sense-reversing barriers, and bounded task queues for pipeline workloads.
+//
+// The primitives are pure state machines over thread IDs: *when* waits start
+// and end, and how waiting time splits into spinning versus yielding, is
+// decided by the simulator's engine using the spin-then-yield policy in
+// Policy. Keeping the state machines timing-free makes them independently
+// testable and mirrors the real division of labor between a synchronization
+// library and the hardware it runs on.
+package syncprim
+
+import "fmt"
+
+// Policy captures the synchronization library's cost and back-off model.
+// Spin grace periods are per primitive kind because real libraries differ:
+// SPLASH-2's PARMACS locks spin (nearly) indefinitely while its barriers
+// park on condition variables; PARSEC's pthread mutexes are adaptive with
+// short spin phases. This distinction is what separates spin-dominant from
+// yield-dominant benchmarks in the paper's Figure 6.
+type Policy struct {
+	// AcquireCycles is the cost of an uncontended atomic acquire/release
+	// (the lock-handling instructions; parallelization overhead per the
+	// paper's Section 3.5).
+	AcquireCycles uint64
+	// HandoffCycles is the cache-line-transfer delay between a release and
+	// a spinning waiter's successful acquire.
+	HandoffCycles uint64
+	// LockSpinGrace is how long a lock waiter spins before the library
+	// parks it (futex wait): the spin-then-yield threshold. Waits shorter
+	// than this are pure spinning; longer waits spin for the grace period
+	// and yield for the rest.
+	LockSpinGrace uint64
+	// BarrierSpinGrace is the spin-then-yield threshold at barriers.
+	BarrierSpinGrace uint64
+	// QueueSpinGrace is the spin-then-yield threshold on queue push/pop.
+	QueueSpinGrace uint64
+	// SpinIterationCycles is the spin-loop body length, which sets the load
+	// cadence the Tian detector observes.
+	SpinIterationCycles uint64
+	// QueueOpCycles is the cost of a queue push/pop critical section.
+	QueueOpCycles uint64
+}
+
+// Validate reports whether the policy is usable.
+func (p Policy) Validate() error {
+	if p.SpinIterationCycles == 0 {
+		return fmt.Errorf("syncprim: spin iteration cycles must be positive")
+	}
+	return nil
+}
+
+// DefaultPolicy returns a policy modeled on an adaptive pthread library:
+// brief spinning, then futex parking.
+func DefaultPolicy() Policy {
+	return Policy{
+		AcquireCycles:       40,
+		HandoffCycles:       60,
+		LockSpinGrace:       6_000,
+		BarrierSpinGrace:    4_000,
+		QueueSpinGrace:      150,
+		SpinIterationCycles: 12,
+		QueueOpCycles:       48,
+	}
+}
+
+// Lock is a FIFO spin-then-yield mutex. Owner transfer happens at release
+// time: the head waiter becomes the owner immediately (the engine applies
+// handoff or wake latency before the thread resumes).
+type Lock struct {
+	owner   int
+	waiters []int
+
+	acquisitions uint64
+	contended    uint64
+}
+
+// NewLock returns an unlocked Lock.
+func NewLock() *Lock { return &Lock{owner: -1} }
+
+// Owner returns the current owner or -1.
+func (l *Lock) Owner() int { return l.owner }
+
+// Waiters returns the number of queued waiters.
+func (l *Lock) Waiters() int { return len(l.waiters) }
+
+// Acquisitions returns the total successful acquisitions.
+func (l *Lock) Acquisitions() uint64 { return l.acquisitions }
+
+// Contended returns how many acquisitions had to wait.
+func (l *Lock) Contended() uint64 { return l.contended }
+
+// Acquire attempts to take the lock for tid. It returns true on immediate
+// success; otherwise tid is appended to the FIFO wait queue.
+func (l *Lock) Acquire(tid int) bool {
+	if l.owner < 0 {
+		l.owner = tid
+		l.acquisitions++
+		return true
+	}
+	l.contended++
+	l.waiters = append(l.waiters, tid)
+	return false
+}
+
+// Release releases the lock held by the current owner and transfers it to
+// a waiter, if any. prefer selects which waiters are eligible to barge:
+// among the FIFO queue, the first waiter satisfying prefer wins; if none
+// does (or prefer is nil), strict FIFO applies. Real spin-then-park mutexes
+// behave this way: a still-spinning waiter grabs the lock ahead of parked
+// ones, avoiding the wake-up convoy. It returns the new owner and whether a
+// transfer happened.
+func (l *Lock) Release(prefer func(tid int) bool) (next int, transferred bool) {
+	if l.owner < 0 {
+		panic("syncprim: Release of unheld lock")
+	}
+	if len(l.waiters) == 0 {
+		l.owner = -1
+		return -1, false
+	}
+	idx := pickWaiter(l.waiters, prefer)
+	next = l.waiters[idx]
+	l.waiters = append(l.waiters[:idx], l.waiters[idx+1:]...)
+	l.owner = next
+	l.acquisitions++
+	return next, true
+}
+
+// pickWaiter returns the index of the first waiter satisfying prefer, or 0.
+func pickWaiter(waiters []int, prefer func(tid int) bool) int {
+	if prefer != nil {
+		for i, w := range waiters {
+			if prefer(w) {
+				return i
+			}
+		}
+	}
+	return 0
+}
+
+// Barrier is a sense-reversing barrier over a fixed number of parties.
+type Barrier struct {
+	parties int
+	arrived int
+	waiters []int
+
+	episodes uint64
+}
+
+// NewBarrier returns a barrier for parties threads.
+func NewBarrier(parties int) *Barrier {
+	if parties <= 0 {
+		panic("syncprim: barrier parties must be positive")
+	}
+	return &Barrier{parties: parties}
+}
+
+// Parties returns the barrier width.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Waiting returns the number of threads currently blocked at the barrier.
+func (b *Barrier) Waiting() int { return len(b.waiters) }
+
+// Episodes returns how many times the barrier has released.
+func (b *Barrier) Episodes() uint64 { return b.episodes }
+
+// Arrive registers tid at the barrier. If tid is the last party, it returns
+// (released, true) where released are the previously waiting threads (tid
+// itself is not included and proceeds immediately). Otherwise tid joins the
+// wait set and (nil, false) is returned.
+func (b *Barrier) Arrive(tid int) (released []int, last bool) {
+	b.arrived++
+	if b.arrived == b.parties {
+		released = b.waiters
+		b.waiters = nil
+		b.arrived = 0
+		b.episodes++
+		return released, true
+	}
+	b.waiters = append(b.waiters, tid)
+	return nil, false
+}
+
+// Queue is a bounded FIFO task queue with blocking push/pop, the substrate
+// for pipeline workloads (ferret, dedup analogues). Item payloads are not
+// modeled — only occupancy and waiter bookkeeping.
+type Queue struct {
+	capacity int
+	items    int
+	closed   bool
+
+	pushWaiters []int
+	popWaiters  []int
+
+	pushes, pops uint64
+	blockedPush  uint64
+	blockedPop   uint64
+}
+
+// NewQueue returns a queue holding at most capacity items.
+func NewQueue(capacity int) *Queue {
+	if capacity <= 0 {
+		panic("syncprim: queue capacity must be positive")
+	}
+	return &Queue{capacity: capacity}
+}
+
+// Items returns current occupancy.
+func (q *Queue) Items() int { return q.items }
+
+// Closed reports whether the queue is closed.
+func (q *Queue) Closed() bool { return q.closed }
+
+// Pushes and Pops return operation counts.
+func (q *Queue) Pushes() uint64 { return q.pushes }
+
+// Pops returns the number of successful pops.
+func (q *Queue) Pops() uint64 { return q.pops }
+
+// BlockedPushes returns how many pushes had to wait.
+func (q *Queue) BlockedPushes() uint64 { return q.blockedPush }
+
+// BlockedPops returns how many pops had to wait.
+func (q *Queue) BlockedPops() uint64 { return q.blockedPop }
+
+// Push inserts an item for tid. Outcomes:
+//   - granted >= 0: the item was handed directly to blocked popper granted
+//     (occupancy unchanged), and the push succeeded.
+//   - ok=true, granted=-1: the item was enqueued.
+//   - ok=false: the queue is full; tid joined the push-waiter queue.
+//
+// Pushing to a closed queue panics: workload generators control shutdown.
+// prefer selects which blocked popper to hand the item to (see
+// Lock.Release).
+func (q *Queue) Push(tid int, prefer func(tid int) bool) (granted int, ok bool) {
+	if q.closed {
+		panic("syncprim: Push on closed queue")
+	}
+	if len(q.popWaiters) > 0 {
+		idx := pickWaiter(q.popWaiters, prefer)
+		granted = q.popWaiters[idx]
+		q.popWaiters = append(q.popWaiters[:idx], q.popWaiters[idx+1:]...)
+		q.pushes++
+		q.pops++
+		return granted, true
+	}
+	if q.items < q.capacity {
+		q.items++
+		q.pushes++
+		return -1, true
+	}
+	q.blockedPush++
+	q.pushWaiters = append(q.pushWaiters, tid)
+	return -1, false
+}
+
+// Pop removes an item for tid. Outcomes:
+//   - ok=true, granted>=0: an item was taken and blocked pusher granted's
+//     item slot was admitted (wake the pusher).
+//   - ok=true, granted=-1: an item was taken.
+//   - ok=false, closed=true: queue closed and drained; the pop fails
+//     permanently.
+//   - ok=false, closed=false: queue empty; tid joined the pop-waiter queue.
+func (q *Queue) Pop(tid int, prefer func(tid int) bool) (granted int, ok, closed bool) {
+	if q.items > 0 {
+		q.items--
+		q.pops++
+		if len(q.pushWaiters) > 0 {
+			idx := pickWaiter(q.pushWaiters, prefer)
+			granted = q.pushWaiters[idx]
+			q.pushWaiters = append(q.pushWaiters[:idx], q.pushWaiters[idx+1:]...)
+			q.items++
+			q.pushes++
+			return granted, true, false
+		}
+		return -1, true, false
+	}
+	if q.closed {
+		return -1, false, true
+	}
+	q.blockedPop++
+	q.popWaiters = append(q.popWaiters, tid)
+	return -1, false, false
+}
+
+// Close marks the queue closed and returns the poppers that must be woken
+// with a failed pop. Blocked pushers are impossible on a closed queue by
+// construction (producers close only after their last push completed).
+func (q *Queue) Close() (failedPoppers []int) {
+	q.closed = true
+	failed := q.popWaiters
+	q.popWaiters = nil
+	return failed
+}

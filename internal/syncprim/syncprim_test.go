@@ -1,0 +1,218 @@
+package syncprim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLockUncontended(t *testing.T) {
+	l := NewLock()
+	if !l.Acquire(3) {
+		t.Fatal("free lock refused")
+	}
+	if l.Owner() != 3 {
+		t.Fatalf("owner = %d", l.Owner())
+	}
+	if next, transferred := l.Release(nil); transferred || next != -1 {
+		t.Fatal("release with no waiters transferred")
+	}
+	if l.Owner() != -1 {
+		t.Fatal("lock not freed")
+	}
+}
+
+func TestLockFIFO(t *testing.T) {
+	l := NewLock()
+	l.Acquire(0)
+	l.Acquire(1)
+	l.Acquire(2)
+	if l.Waiters() != 2 || l.Contended() != 2 {
+		t.Fatalf("waiters=%d contended=%d", l.Waiters(), l.Contended())
+	}
+	next, transferred := l.Release(nil)
+	if !transferred || next != 1 {
+		t.Fatalf("handoff to %d, want 1", next)
+	}
+	next, _ = l.Release(nil)
+	if next != 2 {
+		t.Fatalf("handoff to %d, want 2", next)
+	}
+	if l.Acquisitions() != 3 {
+		t.Fatalf("acquisitions = %d", l.Acquisitions())
+	}
+}
+
+func TestLockBarging(t *testing.T) {
+	l := NewLock()
+	l.Acquire(0)
+	l.Acquire(1) // will be "parked"
+	l.Acquire(2) // still spinning
+	parked := map[int]bool{1: true}
+	next, _ := l.Release(func(tid int) bool { return !parked[tid] })
+	if next != 2 {
+		t.Fatalf("barging picked %d, want spinning waiter 2", next)
+	}
+	// With everyone parked, FIFO applies.
+	l2 := NewLock()
+	l2.Acquire(0)
+	l2.Acquire(1)
+	l2.Acquire(2)
+	next, _ = l2.Release(func(int) bool { return false })
+	if next != 1 {
+		t.Fatalf("all-parked handoff to %d, want 1", next)
+	}
+}
+
+func TestReleaseUnheldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewLock().Release(nil)
+}
+
+func TestBarrier(t *testing.T) {
+	b := NewBarrier(3)
+	if _, last := b.Arrive(0); last {
+		t.Fatal("first arrival released")
+	}
+	if _, last := b.Arrive(1); last {
+		t.Fatal("second arrival released")
+	}
+	released, last := b.Arrive(2)
+	if !last || len(released) != 2 {
+		t.Fatalf("last arrival: last=%v released=%v", last, released)
+	}
+	if b.Episodes() != 1 {
+		t.Fatalf("episodes = %d", b.Episodes())
+	}
+	// Sense reversal: reusable immediately.
+	if _, last := b.Arrive(0); last {
+		t.Fatal("barrier not reset")
+	}
+	if b.Waiting() != 1 {
+		t.Fatalf("waiting = %d", b.Waiting())
+	}
+}
+
+func TestQueueBasicFlow(t *testing.T) {
+	q := NewQueue(2)
+	if granted, ok := q.Push(0, nil); !ok || granted != -1 {
+		t.Fatal("push into empty queue failed")
+	}
+	if granted, ok, closed := q.Pop(1, nil); !ok || closed || granted != -1 {
+		t.Fatal("pop of available item failed")
+	}
+	if q.Items() != 0 {
+		t.Fatalf("items = %d", q.Items())
+	}
+}
+
+func TestQueueBlockingPopGrantedByPush(t *testing.T) {
+	q := NewQueue(2)
+	if _, ok, _ := q.Pop(5, nil); ok {
+		t.Fatal("pop of empty queue succeeded")
+	}
+	granted, ok := q.Push(0, nil)
+	if !ok || granted != 5 {
+		t.Fatalf("push should grant blocked popper 5, got %d", granted)
+	}
+	if q.Items() != 0 {
+		t.Fatal("direct handoff should not change occupancy")
+	}
+}
+
+func TestQueueBlockingPushGrantedByPop(t *testing.T) {
+	q := NewQueue(1)
+	q.Push(0, nil)
+	if _, ok := q.Push(1, nil); ok {
+		t.Fatal("push into full queue succeeded")
+	}
+	granted, ok, _ := q.Pop(2, nil)
+	if !ok || granted != 1 {
+		t.Fatalf("pop should admit blocked pusher 1, got %d", granted)
+	}
+	if q.Items() != 1 {
+		t.Fatalf("items = %d, want 1 (admitted push)", q.Items())
+	}
+}
+
+func TestQueueClose(t *testing.T) {
+	q := NewQueue(2)
+	q.Pop(7, nil) // blocks
+	failed := q.Close()
+	if len(failed) != 1 || failed[0] != 7 {
+		t.Fatalf("close returned %v", failed)
+	}
+	if _, ok, closed := q.Pop(8, nil); ok || !closed {
+		t.Fatal("pop on closed+empty queue must fail with closed=true")
+	}
+}
+
+func TestQueueCloseDrainsRemaining(t *testing.T) {
+	q := NewQueue(4)
+	q.Push(0, nil)
+	q.Push(0, nil)
+	q.Close()
+	// Remaining items still pop successfully.
+	if _, ok, _ := q.Pop(1, nil); !ok {
+		t.Fatal("pop of remaining item after close failed")
+	}
+	if _, ok, _ := q.Pop(1, nil); !ok {
+		t.Fatal("pop of last item after close failed")
+	}
+	if _, ok, closed := q.Pop(1, nil); ok || !closed {
+		t.Fatal("drained closed queue must report closed")
+	}
+}
+
+func TestQueuePushClosedPanics(t *testing.T) {
+	q := NewQueue(1)
+	q.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	q.Push(0, nil)
+}
+
+func TestQueueConservation(t *testing.T) {
+	// Property: pops never exceed pushes; occupancy = pushes - pops - handoffs.
+	f := func(ops []bool) bool {
+		q := NewQueue(4)
+		for i, push := range ops {
+			if push {
+				if len(q.pushWaiters) == 0 { // avoid unbounded waiter lists
+					q.Push(i, nil)
+				}
+			} else {
+				if len(q.popWaiters) == 0 {
+					q.Pop(i, nil)
+				}
+			}
+			if q.Pops() > q.Pushes() {
+				return false
+			}
+			if q.Items() < 0 || q.Items() > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	if err := DefaultPolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultPolicy()
+	p.SpinIterationCycles = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero spin iteration accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package trace
+
+// RNG is a small, fast, deterministic xorshift64* pseudo-random generator.
+// Every stochastic decision in the workload generators draws from an RNG
+// seeded from the benchmark seed and thread ID, which makes entire simulation
+// runs bit-reproducible. The standard library's math/rand would work as well,
+// but a self-contained generator makes the determinism contract explicit and
+// keeps generator state trivially copyable.
+type RNG struct {
+	s uint64
+}
+
+// NewRNG returns an RNG seeded with seed. A zero seed is remapped to a
+// non-zero constant because xorshift has an all-zeroes fixed point.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	r := &RNG{s: seed}
+	// Scramble the seed so that nearby seeds diverge immediately.
+	for i := 0; i < 4; i++ {
+		r.Uint64()
+	}
+	return r
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("trace: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a pseudo-random uint64 in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("trace: Uint64n called with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}

@@ -1,0 +1,178 @@
+// Package trace defines the execution-driven operation-stream model that
+// drives the CMP simulator.
+//
+// A thread's dynamic instruction stream is abstracted as a sequence of
+// coarse-grained operations: computation bursts, individual memory
+// references, and synchronization actions (locks, barriers, bounded task
+// queues). Programs are *execution driven* rather than trace driven: the
+// simulator pulls the next operation lazily and feeds back the outcome of
+// blocking operations (e.g. whether a queue pop succeeded), so programs can
+// react to runtime conditions such as pipeline shutdown.
+//
+// The granularity is deliberately coarser than one op per instruction:
+// computation between memory references is folded into Compute bursts, which
+// keeps simulation cost proportional to the number of *memory and
+// synchronization events*, the quantities that determine every speedup-stack
+// component in the paper.
+package trace
+
+import "fmt"
+
+// Kind identifies the operation class.
+type Kind uint8
+
+// Operation kinds understood by the simulator.
+const (
+	// KindCompute executes N instructions of pure computation (no memory
+	// system interaction beyond the L1-resident working set).
+	KindCompute Kind = iota
+	// KindLoad issues a data load to Addr. PC identifies the static load
+	// site, which the Tian-style spin detector keys on.
+	KindLoad
+	// KindStore issues a data store to Addr.
+	KindStore
+	// KindLock acquires lock ID (test-and-test-and-set with spin-then-yield).
+	KindLock
+	// KindUnlock releases lock ID.
+	KindUnlock
+	// KindBarrier joins barrier ID (sense-reversing; spin-then-yield).
+	KindBarrier
+	// KindPush appends an item to bounded queue ID, blocking while full.
+	KindPush
+	// KindPop removes an item from bounded queue ID, blocking while empty.
+	// If the queue is closed and drained, the op completes with Feedback
+	// PopOK=false and the program is expected to wind down.
+	KindPop
+	// KindCloseQueue marks queue ID closed, releasing blocked poppers.
+	KindCloseQueue
+	// KindEnd terminates the thread. The final op of every program.
+	KindEnd
+)
+
+// String returns a short mnemonic for the op kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCompute:
+		return "compute"
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindLock:
+		return "lock"
+	case KindUnlock:
+		return "unlock"
+	case KindBarrier:
+		return "barrier"
+	case KindPush:
+		return "push"
+	case KindPop:
+		return "pop"
+	case KindCloseQueue:
+		return "closeq"
+	case KindEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Op is one coarse-grained operation of a thread's dynamic stream.
+type Op struct {
+	Kind Kind
+	// N is the instruction count for KindCompute bursts. For memory ops it
+	// is the number of instructions the reference represents (dispatch
+	// slots); 1 if zero.
+	N uint32
+	// Addr is the byte address for KindLoad/KindStore.
+	Addr uint64
+	// PC is a synthetic static-instruction identifier for memory ops; the
+	// spin detector distinguishes load sites by PC.
+	PC uint64
+	// ID names the lock, barrier, or queue for synchronization ops, and the
+	// extra overhead tag (unused otherwise).
+	ID uint32
+	// Overhead marks instructions that exist only because of
+	// parallelization (thread spawning, lock handling, recomputation). The
+	// simulator's ground-truth accounting attributes them to the
+	// parallelization-overhead component; the hardware estimator cannot see
+	// this flag, exactly as in the paper (Section 3.5).
+	Overhead bool
+}
+
+// Feedback carries the outcome of the previously executed blocking op back
+// into the program on the next Next call.
+type Feedback struct {
+	// PopOK reports whether the last KindPop produced an item. False means
+	// the queue was closed and drained.
+	PopOK bool
+}
+
+// Program produces a thread's operation stream. Next is called once per
+// operation; implementations are typically small state machines. Programs
+// must eventually emit KindEnd. After KindEnd, Next is not called again.
+type Program interface {
+	Next(fb Feedback) Op
+}
+
+// Compute returns a computation burst of n instructions.
+func Compute(n uint32) Op { return Op{Kind: KindCompute, N: n} }
+
+// Load returns a load of addr from load-site pc.
+func Load(addr, pc uint64) Op { return Op{Kind: KindLoad, N: 1, Addr: addr, PC: pc} }
+
+// Store returns a store to addr from store-site pc.
+func Store(addr, pc uint64) Op { return Op{Kind: KindStore, N: 1, Addr: addr, PC: pc} }
+
+// Lock returns a lock-acquire op for lock id.
+func Lock(id uint32) Op { return Op{Kind: KindLock, N: 1, ID: id} }
+
+// Unlock returns a lock-release op for lock id.
+func Unlock(id uint32) Op { return Op{Kind: KindUnlock, N: 1, ID: id} }
+
+// Barrier returns a barrier-join op for barrier id.
+func Barrier(id uint32) Op { return Op{Kind: KindBarrier, N: 1, ID: id} }
+
+// Push returns a queue-push op for queue id.
+func Push(id uint32) Op { return Op{Kind: KindPush, N: 1, ID: id} }
+
+// Pop returns a queue-pop op for queue id.
+func Pop(id uint32) Op { return Op{Kind: KindPop, N: 1, ID: id} }
+
+// CloseQueue returns a queue-close op for queue id.
+func CloseQueue(id uint32) Op { return Op{Kind: KindCloseQueue, N: 1, ID: id} }
+
+// End returns the terminal op.
+func End() Op { return Op{Kind: KindEnd} }
+
+// SliceProgram replays a fixed op slice. It is primarily useful in tests and
+// microbenchmark workloads. The slice must end with KindEnd; if it does not,
+// SliceProgram appends one implicitly.
+type SliceProgram struct {
+	ops []Op
+	pos int
+}
+
+// NewSliceProgram returns a Program that replays ops in order.
+func NewSliceProgram(ops []Op) *SliceProgram {
+	if len(ops) == 0 || ops[len(ops)-1].Kind != KindEnd {
+		ops = append(append([]Op(nil), ops...), End())
+	}
+	return &SliceProgram{ops: ops}
+}
+
+// Next implements Program.
+func (p *SliceProgram) Next(Feedback) Op {
+	if p.pos >= len(p.ops) {
+		return End()
+	}
+	op := p.ops[p.pos]
+	p.pos++
+	return op
+}
+
+// FuncProgram adapts a plain function to the Program interface.
+type FuncProgram func(fb Feedback) Op
+
+// Next implements Program.
+func (f FuncProgram) Next(fb Feedback) Op { return f(fb) }

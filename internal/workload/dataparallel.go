@@ -1,0 +1,241 @@
+package workload
+
+import "repro/internal/trace"
+
+// dpProgram generates the op stream of one thread of a data-parallel
+// benchmark (or its sequential reference).
+//
+// Structure: Phases barrier-separated phases; in each phase the thread walks
+// its slice of the global array SweepsPerPhase times, interleaving
+// shared-region accesses, critical sections every CSEvery accesses, and
+// parallelization-overhead bursts. The sweep loop is per slice, so a slice
+// that fits a private LLC is reused both in the sequential reference and in
+// the ATD's private counterfactual — keeping the estimator's assumptions
+// aligned with the measured baseline, as in the paper's methodology.
+type dpProgram struct {
+	s       *Spec
+	tid     int
+	threads int
+	seq     bool // sequential reference: no sync, no overhead
+
+	totalLines int
+	shares     []float64
+
+	// Walk state.
+	phase     int
+	rank      int // sequential mode walks rank after rank
+	sweep     int
+	line      int
+	sliceOff  int
+	sliceLen  int
+	csCounter int
+	sharedPos uint64
+	overhead  int // accumulated overhead instructions (x1000 fixed point)
+
+	rng   *trace.RNG
+	queue []trace.Op
+	qpos  int
+	ended bool
+}
+
+// threadsHint scales critical-section frequency to a nominal machine width
+// so the sequential reference executes identical body work; data volumes
+// never depend on it.
+func (s *Spec) threadsHint() int { return 16 }
+
+// dataParallelPrograms builds one program per thread.
+func (s Spec) dataParallelPrograms(threads int) []trace.Program {
+	progs := make([]trace.Program, threads)
+	spec := s
+	for t := 0; t < threads; t++ {
+		progs[t] = &dpProgram{
+			s:          &spec,
+			tid:        t,
+			threads:    threads,
+			totalLines: int(s.ArrayBytes / lineBytes),
+			shares:     workShares(threads, s.EffectiveParallelism),
+			rng:        trace.NewRNG(s.Seed ^ (uint64(t)+1)*0x9e3779b97f4a7c15),
+		}
+	}
+	return progs
+}
+
+// dataParallelSequential builds the single-threaded reference.
+func (s Spec) dataParallelSequential() trace.Program {
+	spec := s
+	return &dpProgram{
+		s:          &spec,
+		tid:        0,
+		threads:    1,
+		seq:        true,
+		totalLines: int(s.ArrayBytes / lineBytes),
+		shares:     workShares(16, s.EffectiveParallelism),
+		rng:        trace.NewRNG(s.Seed ^ 0xABCDEF),
+	}
+}
+
+// Next implements trace.Program.
+func (p *dpProgram) Next(trace.Feedback) trace.Op {
+	for {
+		if p.qpos < len(p.queue) {
+			op := p.queue[p.qpos]
+			p.qpos++
+			return op
+		}
+		if p.ended {
+			return trace.End()
+		}
+		p.queue = p.queue[:0]
+		p.qpos = 0
+		p.refill()
+	}
+}
+
+// refill appends the ops of the next access (or phase transition) to the
+// queue.
+func (p *dpProgram) refill() {
+	if p.sliceLen == 0 && !p.enterSlice() {
+		return
+	}
+	if p.line >= p.sliceLen {
+		p.sweep++
+		p.line = 0
+		if p.sweep >= p.s.SweepsPerPhase {
+			p.advanceSlice()
+			return
+		}
+	}
+	p.emitAccess()
+	p.line++
+}
+
+// enterSlice computes the current slice bounds; it returns false when the
+// program has ended (queue holds the trailing ops).
+func (p *dpProgram) enterSlice() bool {
+	if p.phase >= p.s.Phases {
+		p.ended = true
+		p.queue = append(p.queue, trace.End())
+		return false
+	}
+	parts := splitInts(p.totalLines, p.shares)
+	// Thread i always owns slice i, as in real data-parallel codes (the
+	// skew is a property of the work division, and keeping slices pinned
+	// preserves per-thread locality for the ATD's private counterfactual).
+	rank := p.rank
+	if !p.seq {
+		rank = p.tid
+	}
+	off := 0
+	for r := 0; r < rank; r++ {
+		off += parts[r]
+	}
+	p.sliceOff = off
+	p.sliceLen = parts[rank]
+	p.sweep = 0
+	p.line = 0
+	if p.sliceLen == 0 {
+		// Degenerate share: skip straight to the next slice/phase.
+		p.advanceSlice()
+		return false
+	}
+	return true
+}
+
+// advanceSlice moves to the next rank (sequential) or phase (parallel),
+// emitting the phase barrier for parallel threads.
+func (p *dpProgram) advanceSlice() {
+	p.sliceLen = 0
+	if p.seq {
+		p.rank++
+		if p.rank < len(p.shares) {
+			return
+		}
+		p.rank = 0
+		p.phase++
+		return
+	}
+	p.queue = append(p.queue, trace.Barrier(uint32(p.phase)))
+	p.phase++
+}
+
+// emitAccess appends one access: compute, the memory operation, and any due
+// critical section or overhead burst.
+func (p *dpProgram) emitAccess() {
+	s := p.s
+	if s.InstrPerAccess > 0 {
+		p.queue = append(p.queue, trace.Compute(uint32(s.InstrPerAccess)))
+	}
+
+	var addr uint64
+	var store bool
+	if s.SharedFrac > 0 && p.rng.Bool(s.SharedFrac) {
+		sharedLines := uint64(s.SharedBytes / lineBytes)
+		if s.RandomShared {
+			addr = sharedBase + p.rng.Uint64n(sharedLines)*lineBytes
+		} else {
+			addr = sharedBase + (p.sharedPos%sharedLines)*lineBytes
+			p.sharedPos++
+		}
+		store = p.rng.Bool(s.SharedStoreFrac)
+	} else {
+		line := p.sliceOff + p.line
+		if s.RandomPrivate {
+			line = p.sliceOff + p.rng.Intn(p.sliceLen)
+		}
+		addr = privateBase + uint64(line)*lineBytes
+		store = p.rng.Bool(s.StoreFrac)
+	}
+	pc := 0x400000 + uint64(p.csCounter%13)*4
+	if store {
+		p.queue = append(p.queue, trace.Store(addr, pc))
+	} else {
+		p.queue = append(p.queue, trace.Load(addr, pc))
+	}
+
+	// Critical sections: CSPerThreadPerPhase per nominal thread-phase,
+	// spread evenly over the access stream so the sequential reference
+	// executes the same body work without locks.
+	if s.CSPerThreadPerPhase > 0 && s.CSInstr > 0 {
+		every := p.totalLines * s.SweepsPerPhase /
+			(s.CSPerThreadPerPhase * s.threadsHint())
+		if every < 1 {
+			every = 1
+		}
+		p.csCounter++
+		if p.csCounter%every == 0 {
+			lock := uint32(0)
+			if s.NumLocks > 1 {
+				lock = uint32(p.rng.Intn(s.NumLocks))
+			}
+			if p.seq {
+				p.queue = append(p.queue, trace.Compute(uint32(s.CSInstr)))
+			} else {
+				p.queue = append(p.queue,
+					trace.Lock(lock),
+					trace.Compute(uint32(s.CSInstr)),
+					trace.Unlock(lock))
+			}
+		}
+	} else {
+		p.csCounter++
+	}
+
+	// Parallelization overhead, accumulated in 1/1000 instruction units and
+	// emitted in bursts so the op stream stays compact.
+	if !p.seq && s.overheadAt(p.threads) > 0 {
+		p.overhead += int(s.overheadAt(p.threads) * 1000 * float64(s.InstrPerAccess+1))
+		if p.overhead >= 256_000 {
+			burst := trace.Compute(uint32(p.overhead / 1000))
+			burst.Overhead = true
+			p.queue = append(p.queue, burst)
+			p.overhead = 0
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,321 @@
+// Package workload defines the synthetic benchmark analogues standing in for
+// the paper's SPLASH-2 / PARSEC / Rodinia binaries.
+//
+// Each analogue is a Spec: a behavioural description (data footprint,
+// sharing, memory intensity, synchronization structure, work imbalance,
+// parallelization overhead) from which deterministic per-thread programs are
+// generated. The specs in registry.go are calibrated so that, on the default
+// machine, each analogue reproduces the published scaling category, the
+// approximate 16-thread speedup, and the dominant speedup-stack components
+// of its namesake (paper Figure 6).
+//
+// Three structural families cover the suite:
+//
+//   - Data-parallel: barrier-separated phases; each thread sweeps its slice
+//     of a global array, with optional shared-region accesses and critical
+//     sections. Work imbalance is injected with a tunable skew, which the
+//     spin-then-yield barriers convert into spinning/yielding exactly as in
+//     the paper (Section 3.4: barrier imbalance is classified as
+//     synchronization).
+//   - Task-queue: items are dispensed under a global lock whose hold time
+//     throttles effective parallelism (cholesky-, freqmine-style). Whether
+//     the resulting waits show up as spinning or yielding depends on the
+//     lock library's spin grace (SPLASH-2 locks spin; pthread mutexes park).
+//   - Pipeline: stages connected by bounded queues, with serial input/output
+//     stages (ferret-, dedup-style); starved stages yield, and the serial
+//     stages cap the speedup at 1/w_serial.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/syncprim"
+	"repro/internal/trace"
+)
+
+// Kind selects the structural family of a benchmark.
+type Kind uint8
+
+// Benchmark families.
+const (
+	// KindDataParallel is the barrier-phased family.
+	KindDataParallel Kind = iota
+	// KindTaskQueue is the lock-dispensed task family.
+	KindTaskQueue
+	// KindPipeline is the queue-connected stage family.
+	KindPipeline
+)
+
+// StageSpec describes one pipeline stage.
+type StageSpec struct {
+	// Weight is the stage's share of per-item work (weights are normalized).
+	Weight float64
+	// Serial pins the stage to exactly one thread (ferret's input/output).
+	Serial bool
+}
+
+// Spec is the behavioural description of one benchmark analogue.
+type Spec struct {
+	// Name and Suite identify the benchmark (suite naming follows the
+	// paper: splash2, parsec_small, parsec_medium, rodinia).
+	Name  string
+	Suite string
+	Kind  Kind
+
+	// --- Work volume -----------------------------------------------------
+
+	// ArrayBytes is the total private-data footprint, partitioned among
+	// threads (each thread sweeps its slice). For pipelines it is the
+	// per-item data region footprint.
+	ArrayBytes int64
+	// SweepsPerPhase is how many times a thread walks its slice per phase;
+	// values above 1 create temporal reuse, which turns shared-LLC
+	// thrashing into negative interference (the private ATD would hit).
+	SweepsPerPhase int
+	// Phases is the number of barrier-separated phases.
+	Phases int
+	// InstrPerAccess is the computation between memory accesses, the
+	// memory-intensity knob.
+	InstrPerAccess int
+
+	// --- Memory behaviour -------------------------------------------------
+
+	// StoreFrac is the fraction of private accesses that are stores.
+	StoreFrac float64
+	// SharedBytes sizes the read-mostly shared region.
+	SharedBytes int64
+	// SharedFrac is the fraction of accesses that target the shared region;
+	// cross-thread reuse there produces positive interference.
+	SharedFrac float64
+	// SharedStoreFrac is the fraction of shared accesses that are stores;
+	// they trigger invalidations and coherence misses.
+	SharedStoreFrac float64
+	// RandomPrivate/RandomShared choose random addressing instead of
+	// streaming within the respective regions.
+	RandomPrivate bool
+	RandomShared  bool
+
+	// --- Parallel structure ------------------------------------------------
+
+	// EffectiveParallelism caps the useful thread count: work shares are
+	// skewed so that speedup saturates near this value, producing the
+	// yield-dominated profiles of Figure 6. Zero means perfectly balanced.
+	EffectiveParallelism float64
+	// CSPerThreadPerPhase critical sections per thread and phase.
+	CSPerThreadPerPhase int
+	// CSInstr is the computation inside a critical section (work that also
+	// exists in the sequential version).
+	CSInstr int
+	// NumLocks is the lock granularity (1 = one global lock).
+	NumLocks int
+
+	// --- Task-queue family -------------------------------------------------
+
+	// Items is the total number of task items (task-queue and pipeline).
+	Items int
+	// ItemInstr is the computation per item.
+	ItemInstr int
+	// ItemAccesses is the number of memory accesses per item.
+	ItemAccesses int
+	// DispatchInstr is the serial work under the dispatch lock per item
+	// (parallelization overhead: it does not exist sequentially).
+	DispatchInstr int
+
+	// --- Pipeline family ---------------------------------------------------
+
+	// Stages describes the pipeline stages.
+	Stages []StageSpec
+	// QueueCap is the bounded-queue capacity between stages.
+	QueueCap int
+
+	// --- Overheads and library behaviour ------------------------------------
+
+	// OverheadFrac adds this fraction of extra instructions in the parallel
+	// version only (thread management, recomputation, lock handling),
+	// calibrated at 16 threads and scaled linearly with the thread count
+	// (communication and recomputation grow with parallelism). The
+	// accounting hardware cannot see it; it surfaces as estimation error,
+	// exactly as in the paper's Section 6 discussion.
+	OverheadFrac float64
+	// LockGrace/BarrierGrace override the sync library's spin-then-yield
+	// thresholds (cycles); zero keeps the machine default. SPLASH-2-style
+	// pure spinning uses a very large LockGrace.
+	LockGrace    uint64
+	BarrierGrace uint64
+
+	// Seed is the base RNG seed; every derived generator seeds from it.
+	Seed uint64
+}
+
+// Validate performs basic consistency checks.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case KindDataParallel:
+		if s.ArrayBytes <= 0 || s.SweepsPerPhase <= 0 || s.Phases <= 0 {
+			return fmt.Errorf("workload %s: data-parallel needs array/sweeps/phases", s.Name)
+		}
+	case KindTaskQueue:
+		if s.Items <= 0 || s.ItemInstr <= 0 {
+			return fmt.Errorf("workload %s: task-queue needs items and item work", s.Name)
+		}
+	case KindPipeline:
+		if s.Items <= 0 || len(s.Stages) < 2 {
+			return fmt.Errorf("workload %s: pipeline needs items and >=2 stages", s.Name)
+		}
+	default:
+		return fmt.Errorf("workload %s: unknown kind %d", s.Name, s.Kind)
+	}
+	return nil
+}
+
+// overheadAt returns the effective overhead fraction for a run with the
+// given thread count (OverheadFrac is the 16-thread calibration point).
+func (s Spec) overheadAt(threads int) float64 {
+	return s.OverheadFrac * float64(threads) / 16
+}
+
+// TunePolicy applies the benchmark's synchronization-library overrides to a
+// machine policy.
+func (s Spec) TunePolicy(p syncprim.Policy) syncprim.Policy {
+	if s.LockGrace != 0 {
+		p.LockSpinGrace = s.LockGrace
+	}
+	if s.BarrierGrace != 0 {
+		p.BarrierSpinGrace = s.BarrierGrace
+	}
+	return p
+}
+
+// Parallel builds the per-thread programs for a run with threads threads.
+func (s Spec) Parallel(threads int) ([]trace.Program, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if threads <= 0 {
+		return nil, fmt.Errorf("workload %s: need at least one thread", s.Name)
+	}
+	switch s.Kind {
+	case KindDataParallel:
+		return s.dataParallelPrograms(threads), nil
+	case KindTaskQueue:
+		return s.taskQueuePrograms(threads), nil
+	case KindPipeline:
+		return s.pipelinePrograms(threads), nil
+	}
+	return nil, fmt.Errorf("workload %s: unknown kind", s.Name)
+}
+
+// Sequential builds the single-threaded reference program executing the
+// same total work without synchronization or parallelization overhead.
+func (s Spec) Sequential() (trace.Program, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Kind {
+	case KindDataParallel:
+		return s.dataParallelSequential(), nil
+	case KindTaskQueue:
+		return s.taskQueueSequential(), nil
+	case KindPipeline:
+		return s.pipelineSequential(), nil
+	}
+	return nil, fmt.Errorf("workload %s: unknown kind", s.Name)
+}
+
+// Address-space layout. Regions are separated far enough that no benchmark
+// configuration can overlap them.
+const (
+	privateBase = 0x1000_0000_0000
+	sharedBase  = 0x2000_0000_0000
+	lineBytes   = 64
+)
+
+// workShares returns each thread's share of the per-phase work, skewed so
+// that aggregate speedup saturates near EffectiveParallelism. Shares follow
+// share_i ∝ (1 - i/T)^gamma with gamma = T/E - 1; ranks rotate across
+// phases so no single thread is permanently heavy.
+func workShares(threads int, effective float64) []float64 {
+	shares := make([]float64, threads)
+	if effective <= 0 || effective >= float64(threads) {
+		for i := range shares {
+			shares[i] = 1 / float64(threads)
+		}
+		return shares
+	}
+	gamma := float64(threads)/effective - 1
+	sum := 0.0
+	for i := range shares {
+		base := 1 - float64(i)/float64(threads)
+		shares[i] = pow(base, gamma)
+		sum += shares[i]
+	}
+	for i := range shares {
+		shares[i] /= sum
+	}
+	return shares
+}
+
+// pow computes base^exp for positive base without importing math (keeps the
+// generator dependency-free and deterministic across platforms).
+func pow(base, exp float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	// exp = int + frac; use repeated squaring for the integer part and a
+	// short ln/exp series for the fractional part.
+	n := int(exp)
+	frac := exp - float64(n)
+	result := 1.0
+	b := base
+	for n > 0 {
+		if n&1 == 1 {
+			result *= b
+		}
+		b *= b
+		n >>= 1
+	}
+	if frac > 1e-9 {
+		result *= expf(frac * lnf(base))
+	}
+	return result
+}
+
+func lnf(x float64) float64 {
+	// ln(x) via atanh identity: ln(x) = 2*atanh((x-1)/(x+1)).
+	y := (x - 1) / (x + 1)
+	y2 := y * y
+	term := y
+	sum := 0.0
+	for k := 0; k < 40; k++ {
+		sum += term / float64(2*k+1)
+		term *= y2
+	}
+	return 2 * sum
+}
+
+func expf(x float64) float64 {
+	sum := 1.0
+	term := 1.0
+	for k := 1; k < 30; k++ {
+		term *= x / float64(k)
+		sum += term
+	}
+	return sum
+}
+
+// splitInts partitions total into len(shares) integer parts proportional to
+// shares, summing exactly to total (remainder goes to the largest share).
+func splitInts(total int, shares []float64) []int {
+	parts := make([]int, len(shares))
+	assigned := 0
+	largest := 0
+	for i, sh := range shares {
+		parts[i] = int(float64(total) * sh)
+		assigned += parts[i]
+		if shares[i] > shares[largest] {
+			largest = i
+		}
+	}
+	parts[largest] += total - assigned
+	return parts
+}

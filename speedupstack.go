@@ -1,0 +1,95 @@
+// Package speedupstack reproduces "Speedup Stacks: Identifying Scaling
+// Bottlenecks in Multi-Threaded Applications" (Eyerman, Du Bois, Eeckhout,
+// ISPASS 2012) as a Go library.
+//
+// A speedup stack decomposes the gap between the ideal speedup N and the
+// speedup a multi-threaded program actually achieves on an N-core machine
+// into additive scaling delimiters: negative and positive last-level-cache
+// interference, memory-subsystem interference, spinning, yielding and load
+// imbalance. The library contains the paper's hardware cycle-accounting
+// architecture (sampled auxiliary tag directories, open-row arrays, a
+// Tian-style spin detector, OS yield bookkeeping), a deterministic
+// cycle-level CMP simulator it runs on, 28 calibrated benchmark analogues,
+// and the harness that regenerates every figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	st, err := speedupstack.Measure("cholesky", 16)
+//	if err != nil { ... }
+//	fmt.Println(speedupstack.Render(st))
+//
+// For custom workloads, build a workload.Spec (or implement trace.Program
+// directly) and drive exp.Runner / sim.Run; the internal packages are the
+// real surface, this package is the convenience layer.
+package speedupstack
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/stack"
+	"repro/internal/workload"
+)
+
+// Stack is the speedup stack of one measured run: the estimate produced by
+// the accounting hardware plus the measured actual speedup.
+type Stack = core.Stack
+
+// Components are the cycle-valued stack components.
+type Components = core.Components
+
+// Result couples a stack with the benchmark identity it came from.
+type Result struct {
+	Benchmark string
+	Threads   int
+	Stack     Stack
+}
+
+// Benchmarks lists the registered benchmark analogues (name_suite form).
+func Benchmarks() []string { return workload.Names() }
+
+// Measure runs the named benchmark analogue with the given thread count on
+// the paper's default 16-core-class machine (threads = cores), plus its
+// single-threaded reference, and returns the speedup stack with the actual
+// speedup attached.
+func Measure(benchmark string, threads int) (Result, error) {
+	b, ok := workload.ByName(benchmark)
+	if !ok {
+		return Result{}, fmt.Errorf("speedupstack: unknown benchmark %q (see Benchmarks())", benchmark)
+	}
+	r := exp.NewRunner(sim.Default())
+	out, err := r.Run(b, threads)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Benchmark: b.FullName(), Threads: threads, Stack: out.Stack}, nil
+}
+
+// Render draws a result as an ASCII speedup stack with a legend.
+func Render(r Result) string {
+	return stack.Render([]stack.Bar{{Label: r.Benchmark, Stack: r.Stack}}, 64)
+}
+
+// Table renders a numeric component table for one or more results.
+func Table(rs ...Result) string {
+	bars := make([]stack.Bar, len(rs))
+	for i, r := range rs {
+		bars[i] = stack.Bar{Label: r.Benchmark, Stack: r.Stack}
+	}
+	return stack.Table(bars)
+}
+
+// TopBottlenecks names the largest scaling delimiters of a result, largest
+// first, using the paper's component vocabulary (cache, memory, spinning,
+// yielding, imbalance).
+func TopBottlenecks(r Result, k int) []string {
+	return stack.TopComponents(r.Stack, k)
+}
+
+// HardwareCost returns the per-core byte cost of the accounting hardware
+// with the paper's geometry (≈1.1 KB per core, Section 4.7).
+func HardwareCost() core.HardwareBudget {
+	return core.Cost(core.PaperCostParams())
+}

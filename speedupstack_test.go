@@ -1,0 +1,50 @@
+package speedupstack
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchmarksListed(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 28 {
+		t.Fatalf("benchmarks = %d, want 28", len(names))
+	}
+}
+
+func TestMeasureUnknownBenchmark(t *testing.T) {
+	if _, err := Measure("no-such-benchmark", 4); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestMeasureAndRender(t *testing.T) {
+	res, err := Measure("swaptions_parsec_small", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads != 16 || res.Stack.N != 16 {
+		t.Fatalf("unexpected shape: %+v", res)
+	}
+	if res.Stack.ActualSpeedup <= 1 {
+		t.Fatalf("actual speedup %v", res.Stack.ActualSpeedup)
+	}
+	out := Render(res)
+	if !strings.Contains(out, "swaptions_parsec_small") || !strings.Contains(out, "legend:") {
+		t.Fatalf("render output incomplete:\n%s", out)
+	}
+	tbl := Table(res)
+	if !strings.Contains(tbl, "yield") {
+		t.Fatalf("table output incomplete:\n%s", tbl)
+	}
+	if tops := TopBottlenecks(res, 3); len(tops) == 0 {
+		t.Fatal("no bottlenecks reported for a skewed benchmark")
+	}
+}
+
+func TestHardwareCost(t *testing.T) {
+	hw := HardwareCost()
+	if hw.InterferenceBytes() != 952 || hw.SpinTableBytes != 217 {
+		t.Fatalf("budget mismatch: %+v", hw)
+	}
+}
