@@ -1,6 +1,7 @@
 // Benchmark harness: one target per table/figure of the paper's evaluation.
 // Each benchmark regenerates its artifact end to end (simulations included)
-// and reports domain-specific metrics alongside the usual ns/op. Run with
+// through the sweep engine and reports domain-specific metrics alongside
+// the usual ns/op. Run with
 //
 //	go test -bench=. -benchmem -benchtime=1x
 //
@@ -9,6 +10,7 @@
 package speedupstack
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -19,16 +21,21 @@ import (
 	"repro/internal/workload"
 )
 
-// newRunner builds a fresh runner per benchmark iteration so cached
-// sequential times do not leak between b.N iterations (the first iteration
-// pays for everything; -benchtime=1x is the intended mode).
-func newRunner() *exp.Runner { return exp.NewRunner(sim.Default()) }
+// newEngine builds a fresh sweep engine per benchmark so memoized cells do
+// not leak between b.N iterations (the first iteration pays for
+// everything; -benchtime=1x is the intended mode).
+func newEngine() *exp.Engine {
+	return exp.NewEngine(sim.Default(), exp.WithWorkers(runtime.NumCPU()))
+}
+
+var benchCtx = context.Background()
 
 // BenchmarkFig1SpeedupCurves regenerates Figure 1: speedup as a function of
-// the thread count for blackscholes, facesim and cholesky.
+// the thread count for blackscholes, facesim and cholesky. It doubles as
+// the CI smoke target for the full figure path (-benchtime=1x).
 func BenchmarkFig1SpeedupCurves(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		curves, err := exp.Figure1(newRunner())
+		curves, err := exp.Figure1(benchCtx, newEngine())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -45,7 +52,7 @@ func BenchmarkFig1SpeedupCurves(b *testing.B) {
 // 3.4, 2.8, 5.1 %).
 func BenchmarkValidationErrorTable(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.Validation(newRunner(), runtime.NumCPU())
+		rows, err := exp.Validation(benchCtx, newEngine())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,7 +69,7 @@ func BenchmarkValidationErrorTable(b *testing.B) {
 // estimated speedup for all 28 benchmarks at 2-16 threads.
 func BenchmarkFig4ActualVsEstimated(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.Figure4(newRunner(), runtime.NumCPU())
+		rows, err := exp.Figure4(benchCtx, newEngine())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -76,7 +83,7 @@ func BenchmarkFig4ActualVsEstimated(b *testing.B) {
 // blackscholes, facesim and cholesky for 2-16 threads.
 func BenchmarkFig5SpeedupStacks(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bars, err := exp.Figure5(newRunner())
+		bars, err := exp.Figure5(benchCtx, newEngine())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,7 +97,7 @@ func BenchmarkFig5SpeedupStacks(b *testing.B) {
 // classification tree at 16 threads.
 func BenchmarkFig6ClassificationTree(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.Figure6(newRunner(), runtime.NumCPU())
+		rows, err := exp.Figure6(benchCtx, newEngine())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -115,7 +122,7 @@ func BenchmarkFig6ClassificationTree(b *testing.B) {
 // count with threads=cores and with 16 software threads.
 func BenchmarkFig7FerretCores(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.Figure7(newRunner())
+		rows, err := exp.Figure7(benchCtx, newEngine())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -130,7 +137,7 @@ func BenchmarkFig7FerretCores(b *testing.B) {
 // LLC interference for the positively-sharing benchmarks at 16 cores.
 func BenchmarkFig8LLCInterference(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.Figure8(newRunner())
+		rows, err := exp.Figure8(benchCtx, newEngine())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -144,7 +151,7 @@ func BenchmarkFig8LLCInterference(b *testing.B) {
 // components for 2/4/8/16 MB LLCs.
 func BenchmarkFig9LLCSizeSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.Figure9(newRunner())
+		rows, err := exp.Figure9(benchCtx, newEngine())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,6 +159,44 @@ func BenchmarkFig9LLCSizeSweep(b *testing.B) {
 			b.Logf("\n%s", exp.FormatInterference(rows))
 			b.ReportMetric(rows[0].Net, "net-interference-2MB")
 			b.ReportMetric(rows[3].Net, "net-interference-16MB")
+		}
+	}
+}
+
+// BenchmarkFullEvaluationSharedEngine regenerates every figure against one
+// shared engine, the cmd/experiments "all" path: cross-figure dedup means
+// the whole evaluation costs little more than its unique cells.
+func BenchmarkFullEvaluationSharedEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newEngine()
+		if _, err := exp.Figure1(benchCtx, e); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := exp.Validation(benchCtx, e); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := exp.Figure4(benchCtx, e); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := exp.Figure5(benchCtx, e); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := exp.Figure6(benchCtx, e); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := exp.Figure7(benchCtx, e); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := exp.Figure8(benchCtx, e); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := exp.Figure9(benchCtx, e); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			st := e.Stats()
+			b.ReportMetric(float64(st.CellRuns), "unique-cell-sims")
+			b.ReportMetric(float64(st.CellHits), "memo-hits")
 		}
 	}
 }
@@ -167,11 +212,14 @@ func BenchmarkHardwareCost(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed on one
-// 16-thread facesim run (an engine microbenchmark, not a paper artifact).
+// 16-thread facesim run plus its sequential reference (an engine
+// microbenchmark, not a paper artifact). The runner is rebuilt per
+// iteration: a shared runner would serve every iteration after the first
+// from the sweep engine's memo.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	r := newRunner()
+	bench := mustBench(b, "facesim_parsec_small")
 	for i := 0; i < b.N; i++ {
-		out, err := r.Run(mustBench(b, "facesim_parsec_small"), 16)
+		out, err := exp.NewRunner(sim.Default()).Run(bench, 16)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -2,12 +2,19 @@
 // evaluation (Figures 1 and 4–9, the Section 6 validation table, and the
 // Section 4.7 hardware cost budget) on the simulated 16-core machine.
 //
+// All figures share one sweep engine: cells common to several figures
+// (e.g. the validation grid reused by Figures 4 and 6) are simulated once,
+// fanned out over -workers simulation workers. Figure text goes to stdout
+// and is byte-identical regardless of the worker count; timing and
+// progress go to stderr.
+//
 // Usage:
 //
 //	experiments [flags] [fig1|fig4|fig5|fig6|fig7|fig8|fig9|validation|hwcost|ablation|all]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,54 +26,42 @@ import (
 	"repro/internal/stack"
 )
 
-func main() {
-	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulation workers")
-	flag.Parse()
-	which := "all"
-	if flag.NArg() > 0 {
-		which = flag.Arg(0)
-	}
+// section is one regenerable artifact: the name selects it on the command
+// line, run produces it.
+type section struct {
+	name string
+	run  func(context.Context, *exp.Engine) error
+}
 
-	r := exp.NewRunner(sim.Default())
-	run := func(name string, f func() error) {
-		if which != "all" && which != name {
-			return
-		}
-		t0 := time.Now()
-		fmt.Printf("==== %s ====\n", name)
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Printf("(%.1fs)\n\n", time.Since(t0).Seconds())
-	}
-
-	run("fig1", func() error {
-		curves, err := exp.Figure1(r)
+// sections is the single registry the command-line validation and the
+// execution loop both read, in output order.
+var sections = []section{
+	{"fig1", func(ctx context.Context, e *exp.Engine) error {
+		curves, err := exp.Figure1(ctx, e)
 		if err != nil {
 			return err
 		}
 		fmt.Print(exp.FormatCurves(curves))
 		return nil
-	})
-	run("validation", func() error {
-		rows, err := exp.Validation(r, *workers)
+	}},
+	{"validation", func(ctx context.Context, e *exp.Engine) error {
+		rows, err := exp.Validation(ctx, e)
 		if err != nil {
 			return err
 		}
 		fmt.Print(exp.FormatValidation(rows))
 		return nil
-	})
-	run("fig4", func() error {
-		rows, err := exp.Figure4(r, *workers)
+	}},
+	{"fig4", func(ctx context.Context, e *exp.Engine) error {
+		rows, err := exp.Figure4(ctx, e)
 		if err != nil {
 			return err
 		}
 		fmt.Print(exp.FormatFigure4(rows))
 		return nil
-	})
-	run("fig5", func() error {
-		bars, err := exp.Figure5(r)
+	}},
+	{"fig5", func(ctx context.Context, e *exp.Engine) error {
+		bars, err := exp.Figure5(ctx, e)
 		if err != nil {
 			return err
 		}
@@ -74,62 +69,139 @@ func main() {
 		fmt.Println()
 		fmt.Print(stack.Table(bars))
 		return nil
-	})
-	run("fig6", func() error {
-		rows, err := exp.Figure6(r, *workers)
+	}},
+	{"fig6", func(ctx context.Context, e *exp.Engine) error {
+		rows, err := exp.Figure6(ctx, e)
 		if err != nil {
 			return err
 		}
 		fmt.Print(exp.FormatFigure6(rows))
 		return nil
-	})
-	run("fig7", func() error {
-		rows, err := exp.Figure7(r)
+	}},
+	{"fig7", func(ctx context.Context, e *exp.Engine) error {
+		rows, err := exp.Figure7(ctx, e)
 		if err != nil {
 			return err
 		}
 		fmt.Print(exp.FormatFigure7(rows))
 		return nil
-	})
-	run("fig8", func() error {
-		rows, err := exp.Figure8(r)
+	}},
+	{"fig8", func(ctx context.Context, e *exp.Engine) error {
+		rows, err := exp.Figure8(ctx, e)
 		if err != nil {
 			return err
 		}
 		fmt.Print(exp.FormatInterference(rows))
 		return nil
-	})
-	run("fig9", func() error {
-		rows, err := exp.Figure9(r)
+	}},
+	{"fig9", func(ctx context.Context, e *exp.Engine) error {
+		rows, err := exp.Figure9(ctx, e)
 		if err != nil {
 			return err
 		}
 		fmt.Print(exp.FormatInterference(rows))
 		return nil
-	})
-	run("hwcost", func() error {
+	}},
+	{"hwcost", func(ctx context.Context, e *exp.Engine) error {
 		fmt.Print(exp.HardwareCostReport())
 		return nil
-	})
-	run("ablation", func() error {
-		rows, err := exp.AblationSampling(r.Config())
+	}},
+	{"ablation", func(ctx context.Context, e *exp.Engine) error {
+		rows, err := exp.AblationSampling(ctx, e)
 		if err != nil {
 			return err
 		}
 		fmt.Println("ATD sampling factor (hardware cost vs accuracy):")
 		fmt.Print(exp.FormatSampling(rows))
-		th, err := exp.AblationSpinThreshold(r.Config())
+		th, err := exp.AblationSpinThreshold(ctx, e)
 		if err != nil {
 			return err
 		}
 		fmt.Println("\nTian detector threshold:")
 		fmt.Print(exp.FormatThreshold(th))
-		qr, err := exp.AblationQuantum(r.Config())
+		qr, err := exp.AblationQuantum(ctx, e)
 		if err != nil {
 			return err
 		}
 		fmt.Println("\nengine quantum (fidelity check):")
 		fmt.Print(exp.FormatQuantum(qr))
 		return nil
-	})
+	}},
+}
+
+func main() {
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulation workers")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	quiet := flag.Bool("q", false, "suppress the progress line")
+	flag.Parse()
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+		// flag.Parse stops at the first positional argument; accept flags
+		// after the section name too (`experiments all -workers=8`).
+		flag.CommandLine.Parse(flag.Args()[1:])
+		if flag.NArg() > 0 {
+			fmt.Fprintf(os.Stderr, "unexpected arguments %v\n", flag.Args())
+			os.Exit(2)
+		}
+	}
+	if which != "all" {
+		known := false
+		names := make([]string, len(sections))
+		for i, s := range sections {
+			names[i] = s.name
+			known = known || s.name == which
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "unknown section %q (want all or one of %v)\n", which, names)
+			os.Exit(2)
+		}
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := []exp.Option{exp.WithWorkers(*workers)}
+	if !*quiet {
+		opts = append(opts, exp.WithProgress(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rcells: %d/%d ", done, total)
+		}))
+	}
+	e := exp.NewEngine(sim.Default(), opts...)
+
+	failed := 0
+	for _, s := range sections {
+		if which != "all" && which != s.name {
+			continue
+		}
+		t0 := time.Now()
+		fmt.Printf("==== %s ====\n", s.name)
+		err := s.run(ctx, e)
+		if !*quiet {
+			fmt.Fprint(os.Stderr, "\r\033[K")
+		}
+		if err != nil {
+			// Keep going: later sections may still complete, and partial
+			// results beat losing the figures already printed.
+			failed++
+			fmt.Fprintf(os.Stderr, "%s: %v\n", s.name, err)
+			fmt.Printf("(failed)\n\n")
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %.1fs\n", s.name, time.Since(t0).Seconds())
+		fmt.Println()
+	}
+
+	if st := e.Stats(); !*quiet {
+		fmt.Fprintf(os.Stderr, "engine: %d cell + %d sequential simulations, %d cell + %d sequential memo hits\n",
+			st.CellRuns, st.SeqRuns, st.CellHits, st.SeqHits)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d section(s) failed\n", failed)
+		os.Exit(1)
+	}
 }

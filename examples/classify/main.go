@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,8 +21,8 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulations")
 	flag.Parse()
 
-	r := exp.NewRunner(sim.Default())
-	rows, err := exp.Figure6(r, *workers)
+	e := exp.NewEngine(sim.Default(), exp.WithWorkers(*workers))
+	rows, err := exp.Figure6(context.Background(), e)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,17 +17,18 @@ import (
 )
 
 func main() {
-	r := exp.NewRunner(sim.Default())
+	ctx := context.Background()
+	e := exp.NewEngine(sim.Default())
 
 	fmt.Println("LLC interference components at 16 cores (speedup units):")
-	rows, err := exp.Figure8(r)
+	rows, err := exp.Figure8(ctx, e)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(exp.FormatInterference(rows))
 
 	fmt.Println("\ncholesky vs LLC size (negative shrinks, positive persists):")
-	sweep, err := exp.Figure9(r)
+	sweep, err := exp.Figure9(ctx, e)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,12 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // Ablation studies for the accounting architecture's design choices
@@ -14,7 +14,9 @@ import (
 // probe the knobs the paper fixed: the ATD sampling factor (Section 4.1
 // trades hardware cost against extrapolation noise), the Tian detector's
 // repetition threshold (Section 4.3), and the engine's relaxed-
-// synchronization quantum (a simulator-fidelity check).
+// synchronization quantum (a simulator-fidelity check). Each sweep point
+// is a distinct machine configuration run through the shared engine, so
+// points that coincide with the base machine reuse the evaluation's cells.
 
 // SamplingRow is one point of the ATD sampling sweep.
 type SamplingRow struct {
@@ -36,31 +38,35 @@ var ablationProbeSet = []string{
 	"ferret_parsec_small",
 }
 
-func probeError(cfg sim.Config) (float64, error) {
-	r := NewRunner(cfg)
+func probeCells() []Cell {
+	cells := make([]Cell, len(ablationProbeSet))
+	for i, name := range ablationProbeSet {
+		cells[i] = Cell{Bench: name, Threads: 16}
+	}
+	return cells
+}
+
+func probeError(ctx context.Context, e *Engine, cfg sim.Config) (float64, error) {
+	outs, err := e.SweepConfig(ctx, cfg, probeCells())
+	if err != nil {
+		return 0, err
+	}
 	total := 0.0
-	for _, name := range ablationProbeSet {
-		b, ok := workload.ByName(name)
-		if !ok {
-			return 0, fmt.Errorf("exp: unknown probe benchmark %s", name)
-		}
-		out, err := r.Run(b, 16)
-		if err != nil {
-			return 0, err
-		}
+	for _, out := range outs {
 		e := out.Error()
 		if e < 0 {
 			e = -e
 		}
 		total += 100 * e
 	}
-	return total / float64(len(ablationProbeSet)), nil
+	return total / float64(len(outs)), nil
 }
 
 // AblationSampling sweeps the ATD set-sampling factor: more sampled sets
 // cost more tag storage and reduce extrapolation noise. The paper picks a
 // high sampling factor to reach its 952-byte budget.
-func AblationSampling(base sim.Config) ([]SamplingRow, error) {
+func AblationSampling(ctx context.Context, e *Engine) ([]SamplingRow, error) {
+	base := e.Config()
 	var rows []SamplingRow
 	for _, shift := range []uint{0, 3, 5, 7} {
 		cfg := base
@@ -69,7 +75,7 @@ func AblationSampling(base sim.Config) ([]SamplingRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		meanErr, err := probeError(cfg)
+		meanErr, err := probeError(ctx, e, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -107,20 +113,22 @@ type ThresholdRow struct {
 }
 
 // AblationSpinThreshold sweeps the Tian detector's repetition threshold.
-func AblationSpinThreshold(base sim.Config) ([]ThresholdRow, error) {
+func AblationSpinThreshold(ctx context.Context, e *Engine) ([]ThresholdRow, error) {
+	base := e.Config()
 	var rows []ThresholdRow
-	chol, _ := workload.ByName("cholesky_splash2")
 	for _, th := range []int{4, 16, 64, 256} {
 		cfg := base
 		cfg.Spin.Threshold = th
-		meanErr, err := probeError(cfg)
+		meanErr, err := probeError(ctx, e, cfg)
 		if err != nil {
 			return nil, err
 		}
-		out, err := NewRunner(cfg).Run(chol, 16)
+		// cholesky_splash2 is in the probe set, so this cell is memoized.
+		outs, err := e.SweepConfig(ctx, cfg, []Cell{{Bench: "cholesky_splash2", Threads: 16}})
 		if err != nil {
 			return nil, err
 		}
+		out := outs[0]
 		rows = append(rows, ThresholdRow{
 			Threshold:     th,
 			MeanAbsErrPct: meanErr,
@@ -153,23 +161,23 @@ type QuantumRow struct {
 // AblationQuantum sweeps the relaxed-synchronization quantum. Simulated
 // results should be (nearly) insensitive to it within a sane range — this
 // is the fidelity argument for the Sniper-style engine.
-func AblationQuantum(base sim.Config) ([]QuantumRow, error) {
+func AblationQuantum(ctx context.Context, e *Engine) ([]QuantumRow, error) {
+	base := e.Config()
 	var rows []QuantumRow
-	face, _ := workload.ByName("facesim_parsec_small")
 	for _, q := range []uint64{50, 100, 200, 400} {
 		cfg := base
 		cfg.Quantum = q
-		out, err := NewRunner(cfg).Run(face, 16)
+		outs, err := e.SweepConfig(ctx, cfg, []Cell{{Bench: "facesim_parsec_small", Threads: 16}})
 		if err != nil {
 			return nil, err
 		}
-		meanErr, err := probeError(cfg)
+		meanErr, err := probeError(ctx, e, cfg)
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, QuantumRow{
 			Quantum:       q,
-			Speedup16:     out.Actual,
+			Speedup16:     outs[0].Actual,
 			MeanAbsErrPct: meanErr,
 		})
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -64,8 +65,8 @@ func TestFigure1CurvesMonotoneStart(t *testing.T) {
 }
 
 func TestFigure7ShapeSaturates(t *testing.T) {
-	r := NewRunner(sim.Default())
-	rows, err := Figure7(r)
+	e := NewEngine(sim.Default())
+	rows, err := Figure7(context.Background(), e)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,8 +86,8 @@ func TestFigure7ShapeSaturates(t *testing.T) {
 }
 
 func TestFigure9Shape(t *testing.T) {
-	r := NewRunner(sim.Default())
-	rows, err := Figure9(r)
+	e := NewEngine(sim.Default())
+	rows, err := Figure9(context.Background(), e)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,8 +146,8 @@ func TestFigure6ClassesAndSummary(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full 28-benchmark sweep")
 	}
-	r := NewRunner(sim.Default())
-	rows, err := Figure6(r, 8)
+	e := NewEngine(sim.Default(), WithWorkers(8))
+	rows, err := Figure6(context.Background(), e)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,10 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/stack"
@@ -21,6 +21,32 @@ var Figure1Benchmarks = []string{
 	"cholesky_splash2",
 }
 
+// exemplarCells declares the Figure 1/5 grid: the three exemplars at every
+// thread count. Figures 1 and 5 share these cells, so an engine that runs
+// both simulates them once.
+func exemplarCells() []Cell {
+	cells := make([]Cell, 0, len(Figure1Benchmarks)*len(ThreadCounts))
+	for _, name := range Figure1Benchmarks {
+		for _, n := range ThreadCounts {
+			cells = append(cells, Cell{Bench: name, Threads: n})
+		}
+	}
+	return cells
+}
+
+// allBenchCells declares every registered benchmark at the given thread
+// counts, thread-count-major (the validation table's iteration order).
+func allBenchCells(threadCounts ...int) []Cell {
+	benches := workload.All()
+	cells := make([]Cell, 0, len(benches)*len(threadCounts))
+	for _, n := range threadCounts {
+		for _, b := range benches {
+			cells = append(cells, Cell{Bench: b.FullName(), Threads: n})
+		}
+	}
+	return cells
+}
+
 // CurvePoint is one (threads, speedup) sample.
 type CurvePoint struct {
 	Threads int
@@ -35,20 +61,18 @@ type SpeedupCurve struct {
 
 // Figure1 reproduces the speedup curves of Figure 1: speedup as a function
 // of the number of threads for blackscholes, facesim and cholesky.
-func Figure1(r *Runner) ([]SpeedupCurve, error) {
+func Figure1(ctx context.Context, e *Engine) ([]SpeedupCurve, error) {
+	outs, err := e.Sweep(ctx, exemplarCells())
+	if err != nil {
+		return nil, err
+	}
 	curves := make([]SpeedupCurve, 0, len(Figure1Benchmarks))
+	i := 0
 	for _, name := range Figure1Benchmarks {
-		b, ok := workload.ByName(name)
-		if !ok {
-			return nil, fmt.Errorf("exp: unknown benchmark %s", name)
-		}
 		c := SpeedupCurve{Benchmark: name, Points: []CurvePoint{{Threads: 1, Speedup: 1}}}
 		for _, n := range ThreadCounts {
-			out, err := r.Run(b, n)
-			if err != nil {
-				return nil, err
-			}
-			c.Points = append(c.Points, CurvePoint{Threads: n, Speedup: out.Actual})
+			c.Points = append(c.Points, CurvePoint{Threads: n, Speedup: outs[i].Actual})
+			i++
 		}
 		curves = append(curves, c)
 	}
@@ -75,33 +99,10 @@ func FormatCurves(curves []SpeedupCurve) string {
 	return b.String()
 }
 
-// SweepAll runs every registered benchmark at the given thread count,
-// in parallel across worker goroutines (each simulation is independent).
-func SweepAll(r *Runner, threads, workers int) ([]Outcome, error) {
-	benches := workload.All()
-	outs := make([]Outcome, len(benches))
-	errs := make([]error, len(benches))
-	if workers <= 0 {
-		workers = 4
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, b := range benches {
-		wg.Add(1)
-		go func(i int, b workload.Benchmark) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			outs[i], errs[i] = r.Run(b, threads)
-		}(i, b)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return outs, nil
+// SweepAll runs every registered benchmark at the given thread count on the
+// engine's worker pool and returns outcomes in registry order.
+func SweepAll(ctx context.Context, e *Engine, threads int) ([]Outcome, error) {
+	return e.Sweep(ctx, allBenchCells(threads))
 }
 
 // ValidationRow is one line of the Section 6 validation table.
@@ -117,16 +118,18 @@ type ValidationRow struct {
 
 // Validation reproduces the Section 6 accuracy numbers: average absolute
 // speedup-estimation error per thread count (the paper reports 3.0, 3.4,
-// 2.8 and 5.1 % for 2, 4, 8 and 16 threads).
-func Validation(r *Runner, workers int) ([]ValidationRow, error) {
+// 2.8 and 5.1 % for 2, 4, 8 and 16 threads). The full grid is declared as
+// one sweep, so it shares cells with Figures 4 and 6.
+func Validation(ctx context.Context, e *Engine) ([]ValidationRow, error) {
+	outs, err := e.Sweep(ctx, allBenchCells(ThreadCounts...))
+	if err != nil {
+		return nil, err
+	}
+	perCount := len(outs) / len(ThreadCounts)
 	rows := make([]ValidationRow, 0, len(ThreadCounts))
-	for _, n := range ThreadCounts {
-		outs, err := SweepAll(r, n, workers)
-		if err != nil {
-			return nil, err
-		}
+	for i, n := range ThreadCounts {
 		row := ValidationRow{Threads: n}
-		for _, o := range outs {
+		for _, o := range outs[i*perCount : (i+1)*perCount] {
 			e := o.Error()
 			if e < 0 {
 				e = -e
@@ -137,7 +140,7 @@ func Validation(r *Runner, workers int) ([]ValidationRow, error) {
 				row.Worst = o.Bench.FullName()
 			}
 		}
-		row.MeanAbsErrPct /= float64(len(outs))
+		row.MeanAbsErrPct /= float64(perCount)
 		rows = append(rows, row)
 	}
 	return rows, nil
@@ -165,22 +168,21 @@ type Figure4Row struct {
 }
 
 // Figure4 reproduces the actual-versus-estimated speedup comparison for all
-// benchmarks at 2–16 threads.
-func Figure4(r *Runner, workers int) ([]Figure4Row, error) {
-	var rows []Figure4Row
-	for _, n := range ThreadCounts {
-		outs, err := SweepAll(r, n, workers)
-		if err != nil {
-			return nil, err
-		}
-		for _, o := range outs {
-			rows = append(rows, Figure4Row{
-				Benchmark: o.Bench.FullName(),
-				Threads:   n,
-				Actual:    o.Actual,
-				Estimated: o.Estimated,
-			})
-		}
+// benchmarks at 2–16 threads. Its grid is identical to Validation's, so on
+// a shared engine the second of the two is free.
+func Figure4(ctx context.Context, e *Engine) ([]Figure4Row, error) {
+	outs, err := e.Sweep(ctx, allBenchCells(ThreadCounts...))
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Figure4Row, 0, len(outs))
+	for _, o := range outs {
+		rows = append(rows, Figure4Row{
+			Benchmark: o.Bench.FullName(),
+			Threads:   o.Threads,
+			Actual:    o.Actual,
+			Estimated: o.Estimated,
+		})
 	}
 	return rows, nil
 }
@@ -200,23 +202,17 @@ func FormatFigure4(rows []Figure4Row) string {
 
 // Figure5 reproduces the speedup stacks of blackscholes, facesim and
 // cholesky for 2–16 threads and returns them as renderable bars.
-func Figure5(r *Runner) ([]stack.Bar, error) {
-	var bars []stack.Bar
-	for _, name := range Figure1Benchmarks {
-		b, ok := workload.ByName(name)
-		if !ok {
-			return nil, fmt.Errorf("exp: unknown benchmark %s", name)
-		}
-		for _, n := range ThreadCounts {
-			out, err := r.Run(b, n)
-			if err != nil {
-				return nil, err
-			}
-			bars = append(bars, stack.Bar{
-				Label: fmt.Sprintf("%s x%d", b.Spec.Name, n),
-				Stack: out.Stack,
-			})
-		}
+func Figure5(ctx context.Context, e *Engine) ([]stack.Bar, error) {
+	outs, err := e.Sweep(ctx, exemplarCells())
+	if err != nil {
+		return nil, err
+	}
+	bars := make([]stack.Bar, 0, len(outs))
+	for _, out := range outs {
+		bars = append(bars, stack.Bar{
+			Label: fmt.Sprintf("%s x%d", out.Bench.Spec.Name, out.Threads),
+			Stack: out.Stack,
+		})
 	}
 	return bars, nil
 }
@@ -236,8 +232,8 @@ type TreeRow struct {
 
 // Figure6 classifies every benchmark at 16 threads by scaling class and
 // dominant components, reproducing the paper's tree.
-func Figure6(r *Runner, workers int) ([]TreeRow, error) {
-	outs, err := SweepAll(r, 16, workers)
+func Figure6(ctx context.Context, e *Engine) ([]TreeRow, error) {
+	outs, err := SweepAll(ctx, e, 16)
 	if err != nil {
 		return nil, err
 	}
@@ -307,29 +303,31 @@ type Figure7Row struct {
 	Threads16      float64 // speedup with 16 software threads
 }
 
+// figure7CoreCounts is the core-count axis of the ferret study.
+var figure7CoreCounts = []int{2, 4, 8, 16}
+
 // Figure7 reproduces the ferret experiment: speedup on 2–16 cores with
 // threads=cores versus a fixed 16 software threads. The paper observes that
 // 16 threads outperform thread-per-core counts and that performance
 // saturates at 8 cores, dipping slightly at 16 due to scheduling overhead.
-func Figure7(r *Runner) ([]Figure7Row, error) {
-	b, ok := workload.ByName("ferret_parsec_small")
-	if !ok {
-		return nil, fmt.Errorf("exp: ferret_parsec_small not registered")
+func Figure7(ctx context.Context, e *Engine) ([]Figure7Row, error) {
+	const bench = "ferret_parsec_small"
+	cells := make([]Cell, 0, 2*len(figure7CoreCounts))
+	for _, cores := range figure7CoreCounts {
+		cells = append(cells,
+			Cell{Bench: bench, Threads: cores, Cores: cores},
+			Cell{Bench: bench, Threads: 16, Cores: cores})
 	}
-	var rows []Figure7Row
-	for _, cores := range []int{2, 4, 8, 16} {
-		eq, err := r.RunOn(b, cores, cores)
-		if err != nil {
-			return nil, err
-		}
-		t16, err := r.RunOn(b, 16, cores)
-		if err != nil {
-			return nil, err
-		}
+	outs, err := e.Sweep(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Figure7Row, 0, len(figure7CoreCounts))
+	for i, cores := range figure7CoreCounts {
 		rows = append(rows, Figure7Row{
 			Cores:          cores,
-			ThreadsEqCores: eq.Actual,
-			Threads16:      t16.Actual,
+			ThreadsEqCores: outs[2*i].Actual,
+			Threads16:      outs[2*i+1].Actual,
 		})
 	}
 	return rows, nil
@@ -377,39 +375,48 @@ var Figure8Benchmarks = []string{
 }
 
 // Figure8 reproduces the negative/positive/net LLC interference components
-// at 16 cores for the benchmarks with visible positive sharing.
-func Figure8(r *Runner) ([]InterferenceRow, error) {
-	var rows []InterferenceRow
-	for _, name := range Figure8Benchmarks {
-		b, ok := workload.ByName(name)
-		if !ok {
-			return nil, fmt.Errorf("exp: unknown benchmark %s", name)
-		}
-		out, err := r.Run(b, 16)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, interferenceRow(name, out.Stack))
+// at 16 cores for the benchmarks with visible positive sharing. Its cells
+// are a subset of the 16-thread validation grid.
+func Figure8(ctx context.Context, e *Engine) ([]InterferenceRow, error) {
+	cells := make([]Cell, len(Figure8Benchmarks))
+	for i, name := range Figure8Benchmarks {
+		cells[i] = Cell{Bench: name, Threads: 16}
+	}
+	outs, err := e.Sweep(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]InterferenceRow, len(outs))
+	for i, out := range outs {
+		rows[i] = interferenceRow(Figure8Benchmarks[i], out.Stack)
 	}
 	return rows, nil
 }
 
+// figure9LLCMBs is the LLC-capacity axis of the cholesky sweep.
+var figure9LLCMBs = []int64{2, 4, 8, 16}
+
 // Figure9 reproduces the cholesky LLC-size sweep: negative interference
 // shrinks as the LLC grows, positive interference stays roughly constant,
 // and the net component can turn negative (cache sharing becomes a win).
-func Figure9(base *Runner) ([]InterferenceRow, error) {
-	b, ok := workload.ByName("cholesky_splash2")
-	if !ok {
-		return nil, fmt.Errorf("exp: cholesky not registered")
-	}
-	var rows []InterferenceRow
-	for _, mb := range []int64{2, 4, 8, 16} {
-		r := NewRunner(base.Config().WithLLCSize(mb << 20))
-		out, err := r.Run(b, 16)
-		if err != nil {
-			return nil, err
+// Each LLC size is a distinct machine configuration; the engine runs all
+// four in one deduplicated batch.
+func Figure9(ctx context.Context, e *Engine) ([]InterferenceRow, error) {
+	reqs := make([]Request, len(figure9LLCMBs))
+	for i, mb := range figure9LLCMBs {
+		cfg := e.Config().WithLLCSize(mb << 20)
+		reqs[i] = Request{
+			Cell:   Cell{Bench: "cholesky_splash2", Threads: 16},
+			Config: &cfg,
 		}
-		rows = append(rows, interferenceRow(fmt.Sprintf("%dMB", mb), out.Stack))
+	}
+	outs, err := e.Do(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]InterferenceRow, len(outs))
+	for i, out := range outs {
+		rows[i] = interferenceRow(fmt.Sprintf("%dMB", figure9LLCMBs[i]), out.Stack)
 	}
 	return rows, nil
 }

@@ -2,11 +2,12 @@
 // simulated machine, pairs each multi-threaded run with its single-threaded
 // reference, and regenerates every table and figure of the paper's
 // evaluation (Figures 1 and 4-9 plus the Section 6 validation errors).
+// The sweep engine (sweep.go) deduplicates cells shared across figures and
+// fans them out over a bounded worker pool.
 package exp
 
 import (
-	"fmt"
-	"sync"
+	"context"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -35,53 +36,29 @@ func (o Outcome) Error() float64 {
 	return (o.Estimated - o.Actual) / float64(o.Threads)
 }
 
-// Runner executes benchmarks against one machine configuration, caching
-// sequential reference times (they do not depend on the thread count).
+// Runner is the single-cell convenience front end to the sweep engine: it
+// executes one benchmark at a time against one machine configuration,
+// sharing the engine's memo so repeated runs (and the sequential
+// references they depend on) are simulated once.
 type Runner struct {
-	cfg sim.Config
-
-	mu      sync.Mutex
-	tsCache map[string]uint64
+	e *Engine
 }
 
 // NewRunner returns a Runner for the given machine configuration.
 func NewRunner(cfg sim.Config) *Runner {
-	return &Runner{cfg: cfg, tsCache: make(map[string]uint64)}
+	return &Runner{e: NewEngine(cfg)}
 }
+
+// Engine exposes the runner's underlying sweep engine.
+func (r *Runner) Engine() *Engine { return r.e }
 
 // Config returns the runner's machine configuration.
-func (r *Runner) Config() sim.Config { return r.cfg }
+func (r *Runner) Config() sim.Config { return r.e.Config() }
 
-// tsKey identifies a sequential run: workload identity plus the machine
-// parameters that affect single-threaded time.
-func (r *Runner) tsKey(b workload.Benchmark) string {
-	return fmt.Sprintf("%s|llc=%d|l1=%d", b.FullName(), r.cfg.LLC.SizeBytes, r.cfg.L1.SizeBytes)
-}
-
-// SequentialTime returns (computing and caching) the benchmark's
+// SequentialTime returns (computing and memoizing) the benchmark's
 // single-threaded execution time Ts on this machine.
 func (r *Runner) SequentialTime(b workload.Benchmark) (uint64, error) {
-	key := r.tsKey(b)
-	r.mu.Lock()
-	ts, ok := r.tsCache[key]
-	r.mu.Unlock()
-	if ok {
-		return ts, nil
-	}
-	prog, err := b.Spec.Sequential()
-	if err != nil {
-		return 0, err
-	}
-	cfg := r.cfg
-	cfg.Policy = b.Spec.TunePolicy(cfg.Policy)
-	res, err := sim.RunSequential(cfg, prog)
-	if err != nil {
-		return 0, fmt.Errorf("%s sequential: %w", b.FullName(), err)
-	}
-	r.mu.Lock()
-	r.tsCache[key] = res.Tp
-	r.mu.Unlock()
-	return res.Tp, nil
+	return r.e.seqTime(context.Background(), r.e.Config(), b)
 }
 
 // Run executes benchmark b with threads threads on threads cores (the
@@ -91,31 +68,11 @@ func (r *Runner) Run(b workload.Benchmark, threads int) (Outcome, error) {
 }
 
 // RunOn executes b with the given software thread count on cores cores
-// (threads may exceed cores, as in Figure 7).
+// (threads may exceed cores, as in Figure 7). Unlike Engine.Sweep, b need
+// not be registered: the memo keys on b.FullName(), so within one Runner a
+// name identifies one workload.
 func (r *Runner) RunOn(b workload.Benchmark, threads, cores int) (Outcome, error) {
-	ts, err := r.SequentialTime(b)
-	if err != nil {
-		return Outcome{}, err
-	}
-	cfg := r.cfg.WithCores(cores)
-	cfg.Policy = b.Spec.TunePolicy(cfg.Policy)
-	progs, err := b.Spec.Parallel(threads)
-	if err != nil {
-		return Outcome{}, err
-	}
-	res, err := sim.Run(cfg, progs, b.Spec.PipelineOptions(threads)...)
-	if err != nil {
-		return Outcome{}, fmt.Errorf("%s x%d: %w", b.FullName(), threads, err)
-	}
-	stack := res.Stack(ts)
-	return Outcome{
-		Bench:     b,
-		Threads:   threads,
-		Ts:        ts,
-		Tp:        res.Tp,
-		Actual:    stack.ActualSpeedup,
-		Estimated: stack.Estimated(),
-		Stack:     stack,
-		Result:    res,
-	}, nil
+	cell := Cell{Bench: b.FullName(), Threads: threads, Cores: cores}.normalize()
+	k := cellKey{cfg: r.e.Config(), cell: cell}
+	return r.e.cell(context.Background(), k, b)
 }

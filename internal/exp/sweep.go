@@ -1,0 +1,438 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The sweep engine executes a declared set of simulation cells — each a
+// (benchmark, threads, cores) triple under a machine configuration — on a
+// bounded worker pool. Cells shared between figures are simulated exactly
+// once: both sequential references and full Outcomes are memoized for the
+// lifetime of the Engine, keyed by the complete machine configuration, so
+// regenerating the whole evaluation is a single deduplicated parallel pass.
+// Every simulation is a deterministic function of (config, workload), and
+// results are returned in declared order, so figure output is byte-identical
+// regardless of the worker count.
+
+// Cell is one declared simulation: a benchmark at a thread count on a core
+// count. Cores == 0 means threads = cores, the paper's default pairing.
+type Cell struct {
+	Bench   string
+	Threads int
+	Cores   int
+}
+
+// normalize fills the Cores default.
+func (c Cell) normalize() Cell {
+	if c.Cores == 0 {
+		c.Cores = c.Threads
+	}
+	return c
+}
+
+// Request is a Cell bound to an explicit machine configuration; a nil
+// Config means the engine's base machine. Figure 9 and the ablations sweep
+// machine parameters, so a single Do call can mix configurations and still
+// execute every cell under one pool.
+type Request struct {
+	Cell
+	Config *sim.Config
+}
+
+// cellKey identifies a memoized Outcome: the full pre-tuning machine
+// configuration plus the cell. sim.Config is a tree of flat value structs,
+// so it is comparable and needs no serialization.
+type cellKey struct {
+	cfg  sim.Config
+	cell Cell
+}
+
+// seqKey identifies a memoized sequential reference. The configuration is
+// normalized to one core: Ts does not depend on the sweep's core count.
+type seqKey struct {
+	cfg   sim.Config
+	bench string
+}
+
+// entry is a singleflight slot for one unique simulation. The claimant
+// closes done after filling val/err; canceled marks a claim abandoned
+// before the simulation ran (the entry is removed so a later sweep can
+// retry).
+type entry[V any] struct {
+	done     chan struct{}
+	val      V
+	err      error
+	canceled bool
+}
+
+// claimOrWait is the memo protocol shared by cells and sequential
+// references: claim the slot for key k and execute run, or wait for
+// whoever holds it. onHit is invoked under mu when an existing entry is
+// found. A claim abandoned on context cancellation (run returned ctx's own
+// error) is deleted before done is closed, so waiters retry and a later
+// sweep re-executes it; real errors are memoized like values — every
+// simulation is deterministic, so retrying one cannot help.
+func claimOrWait[K comparable, V any](ctx context.Context, mu *sync.Mutex,
+	m map[K]*entry[V], k K, onHit func(), run func() (V, error)) (V, error) {
+	var zero V
+	for {
+		mu.Lock()
+		if ent, ok := m[k]; ok {
+			onHit()
+			mu.Unlock()
+			select {
+			case <-ent.done:
+				if ent.canceled {
+					continue
+				}
+				return ent.val, ent.err
+			case <-ctx.Done():
+				return zero, ctx.Err()
+			}
+		}
+		ent := &entry[V]{done: make(chan struct{})}
+		m[k] = ent
+		mu.Unlock()
+
+		v, err := run()
+		if err != nil && err == ctx.Err() {
+			mu.Lock()
+			delete(m, k)
+			mu.Unlock()
+			ent.canceled = true
+			close(ent.done)
+			return zero, err
+		}
+		ent.val, ent.err = v, err
+		close(ent.done)
+		return v, err
+	}
+}
+
+// Stats counts the engine's simulation traffic: actual simulator runs
+// versus requests served from the memo.
+type Stats struct {
+	// SeqRuns and CellRuns are simulations actually executed.
+	SeqRuns  int
+	CellRuns int
+	// SeqHits and CellHits are requests satisfied by a memoized (or
+	// in-flight) entry.
+	SeqHits  int
+	CellHits int
+}
+
+// Engine is the concurrent deduplicating sweep executor. It is safe for
+// use by multiple goroutines; overlapping sweeps share the memo and never
+// simulate the same cell twice.
+type Engine struct {
+	base sim.Config
+	// sem bounds simulation parallelism engine-wide: concurrent sweeps on
+	// one engine share the same worker budget.
+	sem chan struct{}
+
+	// progress, if set, observes cumulative cell completion across the
+	// engine's lifetime. It may be invoked from multiple goroutines, but
+	// calls are serialized by the engine.
+	progress func(done, total int)
+	// hook, if set, observes every simulation actually executed (kind is
+	// "seq" or "cell"). Intended for tests and instrumentation.
+	hook func(kind string, bench string, threads, cores int)
+
+	mu    sync.Mutex
+	seq   map[seqKey]*entry[uint64]
+	cells map[cellKey]*entry[Outcome]
+	stats Stats
+
+	progressMu          sync.Mutex
+	doneCells, totCells int
+}
+
+// Option customizes an Engine.
+type Option func(*Engine)
+
+// WithWorkers bounds the worker pool (default: GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.sem = make(chan struct{}, n)
+		}
+	}
+}
+
+// WithProgress installs a progress callback receiving the cumulative
+// (completed, declared) unique-cell counts.
+func WithProgress(f func(done, total int)) Option {
+	return func(e *Engine) { e.progress = f }
+}
+
+// WithRunHook installs a hook invoked once per simulation actually
+// executed, with kind "seq" or "cell". Memo hits do not fire it.
+func WithRunHook(f func(kind, bench string, threads, cores int)) Option {
+	return func(e *Engine) { e.hook = f }
+}
+
+// NewEngine returns an Engine executing against the given base machine.
+func NewEngine(cfg sim.Config, opts ...Option) *Engine {
+	e := &Engine{
+		base:  cfg,
+		sem:   make(chan struct{}, runtime.GOMAXPROCS(0)),
+		seq:   make(map[seqKey]*entry[uint64]),
+		cells: make(map[cellKey]*entry[Outcome]),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Config returns the engine's base machine configuration.
+func (e *Engine) Config() sim.Config { return e.base }
+
+// Stats returns a snapshot of the engine's simulation counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Sweep executes the cells under the engine's base configuration and
+// returns one Outcome per declared cell, in declared order.
+func (e *Engine) Sweep(ctx context.Context, cells []Cell) ([]Outcome, error) {
+	reqs := make([]Request, len(cells))
+	for i, c := range cells {
+		reqs[i] = Request{Cell: c}
+	}
+	return e.Do(ctx, reqs)
+}
+
+// SweepConfig executes the cells under an explicit machine configuration
+// (Figure 9's LLC sweep, the ablations), sharing the engine's pool and memo.
+func (e *Engine) SweepConfig(ctx context.Context, cfg sim.Config, cells []Cell) ([]Outcome, error) {
+	reqs := make([]Request, len(cells))
+	for i, c := range cells {
+		reqs[i] = Request{Cell: c, Config: &cfg}
+	}
+	return e.Do(ctx, reqs)
+}
+
+// Do executes a batch of requests, deduplicating identical cells within
+// the batch and against everything the engine has already simulated, and
+// returns Outcomes in declared order. On error the first failure in
+// declared order is returned; a canceled context aborts promptly without
+// waiting for queued cells.
+func (e *Engine) Do(ctx context.Context, reqs []Request) ([]Outcome, error) {
+	// Resolve benchmarks and keys up front so unknown names fail before
+	// any simulation is spent.
+	keys := make([]cellKey, len(reqs))
+	benches := make(map[string]workload.Benchmark, len(reqs))
+	for i, req := range reqs {
+		cell := req.Cell.normalize()
+		if cell.Threads <= 0 {
+			return nil, fmt.Errorf("exp: cell %d: non-positive thread count %d", i, cell.Threads)
+		}
+		if _, ok := benches[cell.Bench]; !ok {
+			b, ok := workload.ByName(cell.Bench)
+			if !ok {
+				return nil, fmt.Errorf("exp: unknown benchmark %q", cell.Bench)
+			}
+			benches[cell.Bench] = b
+		}
+		cfg := e.base
+		if req.Config != nil {
+			cfg = *req.Config
+		}
+		keys[i] = cellKey{cfg: cfg, cell: cell}
+	}
+
+	// Collapse duplicates within the batch, preserving first-seen order.
+	unique := make([]cellKey, 0, len(keys))
+	seen := make(map[cellKey]int, len(keys))
+	for _, k := range keys {
+		if _, ok := seen[k]; !ok {
+			seen[k] = len(unique)
+			unique = append(unique, k)
+		}
+	}
+	e.addDeclared(len(unique))
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// One goroutine per unique cell; the engine-wide semaphore bounds the
+	// actual simulations, not these bookkeeping goroutines, so a cell
+	// waiting on another claimant's in-flight work never idles a slot.
+	results := make([]Outcome, len(unique))
+	errs := make([]error, len(unique))
+	var wg sync.WaitGroup
+	for i, k := range unique {
+		wg.Add(1)
+		go func(i int, k cellKey) {
+			defer wg.Done()
+			out, err := e.cell(ctx, k, benches[k.cell.Bench])
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			results[i] = out
+			e.stepDone()
+		}(i, k)
+	}
+	wg.Wait()
+
+	// Report the first failure in declared order, preferring a real
+	// simulation error over the cancellations it triggered in the rest of
+	// the pool.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if err != context.Canceled && err != context.DeadlineExceeded {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	outs := make([]Outcome, len(reqs))
+	for i, k := range keys {
+		outs[i] = results[seen[k]]
+	}
+	return outs, nil
+}
+
+// acquire takes an engine-wide worker slot, or fails with the context's
+// error. The returned release must be called once the simulation is done.
+func (e *Engine) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case e.sem <- struct{}{}:
+		return func() { <-e.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// cell resolves one unique cell through the memo: claim and simulate, or
+// wait for whoever holds it. Abandoned claims (context canceled before the
+// simulation ran) are retried by the next caller.
+func (e *Engine) cell(ctx context.Context, k cellKey, b workload.Benchmark) (Outcome, error) {
+	return claimOrWait(ctx, &e.mu, e.cells, k,
+		func() { e.stats.CellHits++ },
+		func() (Outcome, error) { return e.runCell(ctx, k, b) })
+}
+
+// runCell executes the cell's simulation (after securing its sequential
+// reference), mirroring the paper's pairing of every multi-threaded run
+// with a single-threaded run of the same work.
+func (e *Engine) runCell(ctx context.Context, k cellKey, b workload.Benchmark) (Outcome, error) {
+	ts, err := e.seqTime(ctx, k.cfg, b)
+	if err != nil {
+		return Outcome{}, err
+	}
+	release, err := e.acquire(ctx)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer release()
+	if err := ctx.Err(); err != nil {
+		return Outcome{}, err
+	}
+	if e.hook != nil {
+		e.hook("cell", k.cell.Bench, k.cell.Threads, k.cell.Cores)
+	}
+	e.mu.Lock()
+	e.stats.CellRuns++
+	e.mu.Unlock()
+
+	cfg := k.cfg.WithCores(k.cell.Cores)
+	cfg.Policy = b.Spec.TunePolicy(cfg.Policy)
+	progs, err := b.Spec.Parallel(k.cell.Threads)
+	if err != nil {
+		return Outcome{}, err
+	}
+	res, err := sim.Run(cfg, progs, b.Spec.PipelineOptions(k.cell.Threads)...)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("%s x%d: %w", b.FullName(), k.cell.Threads, err)
+	}
+	stack := res.Stack(ts)
+	return Outcome{
+		Bench:     b,
+		Threads:   k.cell.Threads,
+		Ts:        ts,
+		Tp:        res.Tp,
+		Actual:    stack.ActualSpeedup,
+		Estimated: stack.Estimated(),
+		Stack:     stack,
+		Result:    res,
+	}, nil
+}
+
+// seqTime resolves the benchmark's single-threaded reference time under
+// cfg, with the same claim-or-wait discipline as cell.
+func (e *Engine) seqTime(ctx context.Context, cfg sim.Config, b workload.Benchmark) (uint64, error) {
+	k := seqKey{cfg: cfg.WithCores(1), bench: b.FullName()}
+	return claimOrWait(ctx, &e.mu, e.seq, k,
+		func() { e.stats.SeqHits++ },
+		func() (uint64, error) { return e.runSeq(ctx, cfg, b) })
+}
+
+// runSeq executes the single-threaded reference simulation.
+func (e *Engine) runSeq(ctx context.Context, cfg sim.Config, b workload.Benchmark) (uint64, error) {
+	release, err := e.acquire(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if e.hook != nil {
+		e.hook("seq", b.FullName(), 1, 1)
+	}
+	e.mu.Lock()
+	e.stats.SeqRuns++
+	e.mu.Unlock()
+
+	prog, err := b.Spec.Sequential()
+	if err != nil {
+		return 0, err
+	}
+	cfg.Policy = b.Spec.TunePolicy(cfg.Policy)
+	res, err := sim.RunSequential(cfg, prog)
+	if err != nil {
+		return 0, fmt.Errorf("%s sequential: %w", b.FullName(), err)
+	}
+	return res.Tp, nil
+}
+
+// addDeclared and stepDone maintain the cumulative progress counters. The
+// callback runs under progressMu so invocations are serialized and counts
+// never appear to move backwards; it must not call back into the engine.
+func (e *Engine) addDeclared(n int) {
+	e.progressMu.Lock()
+	defer e.progressMu.Unlock()
+	e.totCells += n
+	if e.progress != nil && n > 0 {
+		e.progress(e.doneCells, e.totCells)
+	}
+}
+
+func (e *Engine) stepDone() {
+	e.progressMu.Lock()
+	defer e.progressMu.Unlock()
+	e.doneCells++
+	if e.progress != nil {
+		e.progress(e.doneCells, e.totCells)
+	}
+}

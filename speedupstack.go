@@ -18,13 +18,22 @@
 //	if err != nil { ... }
 //	fmt.Println(speedupstack.Render(st))
 //
+// Batch measurements go through MeasureAll, which deduplicates shared
+// work (one sequential reference per benchmark) and runs the grid on all
+// CPUs via the exp sweep engine:
+//
+//	results, err := speedupstack.MeasureAll(
+//		speedupstack.Benchmarks(), []int{2, 4, 8, 16})
+//
 // For custom workloads, build a workload.Spec (or implement trace.Program
 // directly) and drive exp.Runner / sim.Run; the internal packages are the
 // real surface, this package is the convenience layer.
 package speedupstack
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/exp"
@@ -65,6 +74,40 @@ func Measure(benchmark string, threads int) (Result, error) {
 		return Result{}, err
 	}
 	return Result{Benchmark: b.FullName(), Threads: threads, Stack: out.Stack}, nil
+}
+
+// MeasureAll measures every (benchmark, thread-count) combination of the
+// cross product on the paper's default machine, deduplicating shared work
+// (one sequential reference per benchmark) and fanning the simulations out
+// over all CPUs. Results come back in declared order: benchmark-major,
+// then by thread count. It is the batch counterpart of Measure.
+func MeasureAll(benchmarks []string, threads []int) ([]Result, error) {
+	return MeasureAllContext(context.Background(), benchmarks, threads)
+}
+
+// MeasureAllContext is MeasureAll with cancellation: canceling ctx aborts
+// the remaining simulations promptly.
+func MeasureAllContext(ctx context.Context, benchmarks []string, threads []int) ([]Result, error) {
+	cells := make([]exp.Cell, 0, len(benchmarks)*len(threads))
+	for _, b := range benchmarks {
+		for _, n := range threads {
+			cells = append(cells, exp.Cell{Bench: b, Threads: n})
+		}
+	}
+	e := exp.NewEngine(sim.Default(), exp.WithWorkers(runtime.NumCPU()))
+	outs, err := e.Sweep(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(outs))
+	for i, out := range outs {
+		results[i] = Result{
+			Benchmark: out.Bench.FullName(),
+			Threads:   out.Threads,
+			Stack:     out.Stack,
+		}
+	}
+	return results, nil
 }
 
 // Render draws a result as an ASCII speedup stack with a legend.

@@ -42,6 +42,55 @@ func TestMeasureAndRender(t *testing.T) {
 	}
 }
 
+func TestMeasureAllBatch(t *testing.T) {
+	benches := []string{"swaptions_parsec_small", "blackscholes_parsec_small"}
+	results, err := MeasureAll(benches, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4", len(results))
+	}
+	// Declared order: benchmark-major, then thread count.
+	want := []struct {
+		bench   string
+		threads int
+	}{
+		{"swaptions_parsec_small", 2},
+		{"swaptions_parsec_small", 4},
+		{"blackscholes_parsec_small", 2},
+		{"blackscholes_parsec_small", 4},
+	}
+	for i, w := range want {
+		if results[i].Benchmark != w.bench || results[i].Threads != w.threads {
+			t.Fatalf("result %d = %s x%d, want %s x%d",
+				i, results[i].Benchmark, results[i].Threads, w.bench, w.threads)
+		}
+		if results[i].Stack.ActualSpeedup <= 1 {
+			t.Fatalf("%s x%d speedup %v", w.bench, w.threads, results[i].Stack.ActualSpeedup)
+		}
+	}
+}
+
+func TestMeasureAllUnknownBenchmark(t *testing.T) {
+	if _, err := MeasureAll([]string{"no-such-benchmark"}, []int{2}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+// TestFigurePathSmoke is the CI smoke gate: it exercises the end-to-end
+// figure path (cell declaration, sweep engine, simulator, stack assembly,
+// text rendering) on a grid small enough for every PR.
+func TestFigurePathSmoke(t *testing.T) {
+	res, err := MeasureAll([]string{"swaptions_parsec_small"}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := Render(res[0]); !strings.Contains(out, "legend:") {
+		t.Fatalf("render output incomplete:\n%s", out)
+	}
+}
+
 func TestHardwareCost(t *testing.T) {
 	hw := HardwareCost()
 	if hw.InterferenceBytes() != 952 || hw.SpinTableBytes != 217 {
