@@ -4,7 +4,11 @@
 // Usage:
 //
 //	speedup-stack -bench cholesky -threads 16
+//	speedup-stack -bench radix_splash2 -threads 8 -format svg > radix.svg
 //	speedup-stack -list
+//
+// -format selects the report encoding: text (ASCII bars, component table
+// and top bottlenecks), json, csv, or svg (a standalone chart).
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 func main() {
 	bench := flag.String("bench", "cholesky_splash2", "benchmark (name or name_suite)")
 	threads := flag.Int("threads", 16, "thread count (= core count)")
+	format := flag.String("format", "text", "output format: text|json|csv|svg")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
 	flag.Parse()
 
@@ -28,13 +33,25 @@ func main() {
 		return
 	}
 
+	f, err := speedupstack.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	res, err := speedupstack.Measure(*bench, *threads)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Print(speedupstack.Render(res))
-	fmt.Println()
-	fmt.Print(speedupstack.Table(res))
-	fmt.Printf("\ntop bottlenecks: %v\n", speedupstack.TopBottlenecks(res, 3))
+	if f == speedupstack.FormatText {
+		fmt.Print(speedupstack.Render(res))
+		fmt.Println()
+		fmt.Print(speedupstack.Table(res))
+		fmt.Printf("\ntop bottlenecks: %v\n", speedupstack.TopBottlenecks(res, 3))
+		return
+	}
+	if err := speedupstack.Encode(os.Stdout, f, res); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,72 @@
+// Command speedupd serves the speedup-stack analysis pipeline over HTTP:
+// a long-running, cached, bounded-concurrency front end to the simulator.
+//
+// Usage:
+//
+//	speedupd [-addr :8080] [-workers N] [-cache CELLS] [-sim-timeout 2m]
+//	         [-max-sweep-cells 1024] [-drain 10s]
+//
+// Endpoints (see internal/service):
+//
+//	GET  /v1/stack?bench=cholesky_splash2&threads=16&format=svg
+//	POST /v1/sweep
+//	GET  /v1/benchmarks
+//	GET  /healthz
+//	GET  /metrics
+//
+// Identical concurrent requests collapse onto one simulation, results are
+// cached in an LRU keyed by the full machine configuration, and SIGINT or
+// SIGTERM drains in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.NumCPU(), "max concurrent simulations")
+	cache := flag.Int("cache", 4096, "LRU result cache size in cells (-1 = unbounded)")
+	simTimeout := flag.Duration("sim-timeout", 2*time.Minute, "per-request simulation budget (-1s = none)")
+	maxSweepCells := flag.Int("max-sweep-cells", 1024, "max cells per /v1/sweep batch")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	srv := service.New(service.Options{
+		Workers:       *workers,
+		CacheCells:    *cache,
+		SimTimeout:    *simTimeout,
+		MaxSweepCells: *maxSweepCells,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("speedupd: %v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("speedupd: listening on %s (%d workers, cache %d cells)",
+		l.Addr(), *workers, *cache)
+	if err := service.Serve(ctx, l, srv.Handler(), *drain); err != nil {
+		log.Fatalf("speedupd: %v", err)
+	}
+	st := srv.Engine().Stats()
+	log.Printf("speedupd: shut down cleanly (%d simulations, %d cache hits)",
+		st.CellRuns+st.SeqRuns, st.CellHits+st.SeqHits)
+}

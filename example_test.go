@@ -1,0 +1,56 @@
+package speedupstack_test
+
+import (
+	"fmt"
+
+	speedupstack "repro"
+)
+
+// ExampleMeasure runs one benchmark analogue and asks the accounting
+// hardware what limits its scaling. The simulator is deterministic, so the
+// numbers are stable across runs and machines.
+func ExampleMeasure() {
+	r, err := speedupstack.Measure("cholesky_splash2", 16)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("estimated %.2fx, measured %.2fx on %d cores\n",
+		r.Stack.Estimated(), r.Stack.ActualSpeedup, r.Threads)
+	fmt.Println("bottlenecks:", speedupstack.TopBottlenecks(r, 2))
+	// Output:
+	// estimated 6.61x, measured 4.38x on 16 cores
+	// bottlenecks: [spinning memory]
+}
+
+// ExampleMeasureAll measures a (benchmark, thread-count) grid in one batch:
+// shared work is deduplicated (one sequential reference per benchmark) and
+// the simulations fan out over all CPUs.
+func ExampleMeasureAll() {
+	rs, err := speedupstack.MeasureAll(
+		[]string{"radix_splash2", "fft_splash2"}, []int{4, 8})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rs {
+		fmt.Printf("%-14s x%-2d actual %5.2f\n",
+			r.Benchmark, r.Threads, r.Stack.ActualSpeedup)
+	}
+	// Output:
+	// radix_splash2  x4  actual  3.41
+	// radix_splash2  x8  actual  6.35
+	// fft_splash2    x4  actual  3.17
+	// fft_splash2    x8  actual  5.75
+}
+
+// ExampleRender draws a measured stack as ASCII art; Encode produces the
+// same report as JSON, CSV or a standalone SVG chart.
+func ExampleRender() {
+	r, err := speedupstack.Measure("cholesky_splash2", 16)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(speedupstack.Render(r))
+	// Output:
+	// cholesky_splash2             N=16  est= 6.61 act= 4.38 |#######################+++mmmmmmmmmmmmmmssssssssssssssyyyyyyyyy |
+	// legend: #=base speedup  +=positive LLC  .=net negative LLC  m=memory  s=spinning  y=yielding  i=imbalance
+}

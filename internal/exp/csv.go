@@ -47,30 +47,9 @@ func WriteFigure4CSV(w io.Writer, rows []Figure4Row) error {
 }
 
 // WriteStacksCSV emits one row per stack with every component in speedup
-// units (Figure 5 data).
+// units (Figure 5 data). It is stack.EncodeCSV under its historical name.
 func WriteStacksCSV(w io.Writer, bars []stack.Bar) error {
-	cw := csv.NewWriter(w)
-	header := []string{"label", "threads", "estimated", "actual",
-		"base", "posLLC", "negLLC", "netLLC", "memory", "spin", "yield", "imbalance"}
-	if err := cw.Write(header); err != nil {
-		return err
-	}
-	for _, b := range bars {
-		s := b.Stack
-		tp := float64(s.Tp)
-		rec := []string{
-			b.Label, strconv.Itoa(s.N), fmtF(s.Estimated()), fmtF(s.ActualSpeedup),
-			fmtF(s.Base()), fmtF(s.Components.PosLLC / tp), fmtF(s.Components.NegLLC / tp),
-			fmtF(s.Components.Net() / tp), fmtF(s.Components.NegMem / tp),
-			fmtF(s.Components.Spin / tp), fmtF(s.Components.Yield / tp),
-			fmtF(s.Components.Imbalance / tp),
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return stack.EncodeCSV(w, bars)
 }
 
 // WriteInterferenceCSV emits Figure 8/9 rows.

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// countingHook tallies actual simulations per (kind, bench, threads).
+type countingHook struct {
+	mu   sync.Mutex
+	runs map[string]int
+}
+
+func newCountingHook() *countingHook {
+	return &countingHook{runs: make(map[string]int)}
+}
+
+func (h *countingHook) hook(kind, bench string, threads, cores int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.runs[kind+":"+bench] += 1
+}
+
+func (h *countingHook) count(key string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.runs[key]
+}
+
+// TestCellMemoLimitEviction drives an engine with a one-cell memo through
+// an A, B, A access pattern: B must evict A, so the second A re-simulates,
+// and both A outcomes must be identical (determinism survives eviction).
+func TestCellMemoLimitEviction(t *testing.T) {
+	h := newCountingHook()
+	e := NewEngine(sim.Default(), WithWorkers(2), WithRunHook(h.hook),
+		WithCellMemoLimit(1))
+	ctx := context.Background()
+
+	cellA := Cell{Bench: "blackscholes_parsec_small", Threads: 2}
+	cellB := Cell{Bench: "swaptions_parsec_small", Threads: 2}
+
+	outA1, err := e.Sweep(ctx, []Cell{cellA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Sweep(ctx, []Cell{cellB}); err != nil {
+		t.Fatal(err)
+	}
+	outA2, err := e.Sweep(ctx, []Cell{cellA})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := h.count("cell:blackscholes_parsec_small"); got != 2 {
+		t.Errorf("cell A simulated %d times, want 2 (evicted between sweeps)", got)
+	}
+	st := e.Stats()
+	if st.CellEvictions < 2 {
+		t.Errorf("CellEvictions = %d, want >= 2", st.CellEvictions)
+	}
+	// Sequential references are never evicted: one per benchmark.
+	if got := h.count("seq:blackscholes_parsec_small"); got != 1 {
+		t.Errorf("seq reference simulated %d times, want 1", got)
+	}
+	if !reflect.DeepEqual(outA1[0].Stack, outA2[0].Stack) {
+		t.Errorf("re-simulated outcome differs:\n%+v\n%+v", outA1[0].Stack, outA2[0].Stack)
+	}
+}
+
+// TestCellMemoUnboundedByDefault checks the default engine keeps every
+// outcome: repeating a sweep costs zero simulations.
+func TestCellMemoUnboundedByDefault(t *testing.T) {
+	h := newCountingHook()
+	e := NewEngine(sim.Default(), WithWorkers(2), WithRunHook(h.hook))
+	ctx := context.Background()
+	cells := []Cell{
+		{Bench: "blackscholes_parsec_small", Threads: 2},
+		{Bench: "swaptions_parsec_small", Threads: 2},
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := e.Sweep(ctx, cells); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.count("cell:blackscholes_parsec_small"); got != 1 {
+		t.Errorf("cell simulated %d times, want 1", got)
+	}
+	if st := e.Stats(); st.CellEvictions != 0 {
+		t.Errorf("CellEvictions = %d, want 0", st.CellEvictions)
+	}
+}

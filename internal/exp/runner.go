@@ -2,8 +2,56 @@
 // simulated machine, pairs each multi-threaded run with its single-threaded
 // reference, and regenerates every table and figure of the paper's
 // evaluation (Figures 1 and 4-9 plus the Section 6 validation errors).
-// The sweep engine (sweep.go) deduplicates cells shared across figures and
-// fans them out over a bounded worker pool.
+//
+// # The sweep engine
+//
+// All execution flows through Engine (sweep.go), a concurrent deduplicating
+// executor. Callers declare cells — (benchmark, threads, cores) triples,
+// optionally bound to an explicit machine configuration — and the engine
+// returns one Outcome per declared cell, in declared order.
+//
+// Dedup and memoization semantics:
+//
+//   - The unit of memoization is the pair (sim.Config, Cell): two requests
+//     are "the same simulation" exactly when the full machine configuration
+//     and the normalized cell agree. sim.Config is a comparable value
+//     struct, so keys need no serialization.
+//   - Sequential references (the single-threaded run every speedup stack is
+//     measured against) are memoized separately, keyed by the configuration
+//     normalized to one core — Ts does not depend on the sweep's core
+//     count, so one reference serves every thread count of a benchmark.
+//   - Memoization is engine-lifetime and singleflight: duplicates within a
+//     batch, across batches, and across concurrent batches all collapse
+//     onto one execution. A request finding an in-flight entry waits for it
+//     rather than re-simulating ("hit" in Stats counts both cases).
+//   - Every simulation is a deterministic function of (config, workload),
+//     so real errors are memoized like values — retrying cannot help. The
+//     one exception is a claim abandoned because its context was canceled
+//     before the simulation ran: that entry is removed and the next
+//     request re-executes it.
+//   - The outcome memo is unbounded by default (right for one-shot figure
+//     regeneration, where the cell set is finite and declared up front).
+//     Long-running callers bound it with WithCellMemoLimit, which evicts
+//     completed outcomes least-recently-used; an evicted cell re-simulates
+//     on its next request and in-flight entries are never evicted.
+//
+// Worker-pool guarantees:
+//
+//   - WithWorkers(n) bounds actual simulations engine-wide at n (default
+//     GOMAXPROCS). The bound is shared by everything running on the engine:
+//     overlapping Sweep/Do calls, sequential references and cells all draw
+//     from one semaphore, so a caller can cap machine load with one number.
+//   - The bound applies to simulations, not bookkeeping: a cell waiting on
+//     another claimant's in-flight work holds no worker slot, so dedup
+//     never idles the pool.
+//   - Results are returned in declared order and are byte-identical for a
+//     given declared set regardless of the worker count or of how requests
+//     interleave — scheduling affects only wall-clock time.
+//   - Cancellation is prompt: a canceled context abandons queued cells
+//     without waiting for the pool to drain, and a failed cell cancels the
+//     rest of its batch (the first failure in declared order is reported,
+//     preferring real simulation errors over the cancellations they
+//     trigger).
 package exp
 
 import (

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"runtime"
@@ -125,6 +126,12 @@ type Stats struct {
 	// in-flight) entry.
 	SeqHits  int
 	CellHits int
+	// CellEvictions counts completed outcomes dropped by the LRU memo
+	// bound (WithCellMemoLimit); an evicted cell re-simulates on its next
+	// request.
+	CellEvictions int
+	// InFlight is a gauge: simulations executing right now.
+	InFlight int
 }
 
 // Engine is the concurrent deduplicating sweep executor. It is safe for
@@ -148,6 +155,13 @@ type Engine struct {
 	seq   map[seqKey]*entry[uint64]
 	cells map[cellKey]*entry[Outcome]
 	stats Stats
+	// LRU bookkeeping for the cells memo, active when cellLimit > 0: lru
+	// holds cellKeys most-recently-used first, lruPos indexes it. Only
+	// completed outcomes are tracked and evicted; sequential references are
+	// never evicted (their footprint is one uint64 per benchmark).
+	cellLimit int
+	lru       *list.List
+	lruPos    map[cellKey]*list.Element
 
 	progressMu          sync.Mutex
 	doneCells, totCells int
@@ -177,13 +191,27 @@ func WithRunHook(f func(kind, bench string, threads, cores int)) Option {
 	return func(e *Engine) { e.hook = f }
 }
 
+// WithCellMemoLimit bounds the outcome memo to at most n completed cells
+// (successful outcomes and memoized errors alike), evicted
+// least-recently-used. Long-running engines (the speedupd service) use
+// this to keep memory bounded; n <= 0 means unbounded, the right choice
+// for one-shot regeneration where every cell is known up front. Eviction
+// only drops completed entries — an in-flight simulation keeps its
+// singleflight slot until it finishes — and an evicted cell simply
+// re-simulates on its next request, so results are unaffected.
+func WithCellMemoLimit(n int) Option {
+	return func(e *Engine) { e.cellLimit = n }
+}
+
 // NewEngine returns an Engine executing against the given base machine.
 func NewEngine(cfg sim.Config, opts ...Option) *Engine {
 	e := &Engine{
-		base:  cfg,
-		sem:   make(chan struct{}, runtime.GOMAXPROCS(0)),
-		seq:   make(map[seqKey]*entry[uint64]),
-		cells: make(map[cellKey]*entry[Outcome]),
+		base:   cfg,
+		sem:    make(chan struct{}, runtime.GOMAXPROCS(0)),
+		seq:    make(map[seqKey]*entry[uint64]),
+		cells:  make(map[cellKey]*entry[Outcome]),
+		lru:    list.New(),
+		lruPos: make(map[cellKey]*list.Element),
 	}
 	for _, o := range opts {
 		o(e)
@@ -327,9 +355,57 @@ func (e *Engine) acquire(ctx context.Context) (release func(), err error) {
 // wait for whoever holds it. Abandoned claims (context canceled before the
 // simulation ran) are retried by the next caller.
 func (e *Engine) cell(ctx context.Context, k cellKey, b workload.Benchmark) (Outcome, error) {
-	return claimOrWait(ctx, &e.mu, e.cells, k,
+	out, err := claimOrWait(ctx, &e.mu, e.cells, k,
 		func() { e.stats.CellHits++ },
 		func() (Outcome, error) { return e.runCell(ctx, k, b) })
+	e.touchCell(k)
+	return out, err
+}
+
+// touchCell records a use of k for LRU eviction and trims the cells memo to
+// the configured bound. Only completed entries are tracked — successes and
+// memoized real errors alike, so erroring cells cannot grow the memo past
+// the bound. Entries still being computed are never tracked or evicted:
+// their claimant owns the singleflight slot, and evicting it would detach
+// waiters from the in-flight result.
+func (e *Engine) touchCell(k cellKey) {
+	if e.cellLimit <= 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.cells[k]
+	if !ok {
+		return // canceled claim: nothing memoized
+	}
+	select {
+	case <-ent.done:
+	default:
+		return // another claimant is mid-flight
+	}
+	if el, ok := e.lruPos[k]; ok {
+		e.lru.MoveToFront(el)
+	} else {
+		e.lruPos[k] = e.lru.PushFront(k)
+	}
+	for e.lru.Len() > e.cellLimit {
+		el := e.lru.Back()
+		bk := el.Value.(cellKey)
+		if ent, ok := e.cells[bk]; ok {
+			select {
+			case <-ent.done:
+			default:
+				// The oldest tracked cell is mid-recomputation (its prior
+				// entry was canceled and a new claim is running); leave the
+				// memo one entry over rather than orphan the claim.
+				return
+			}
+			delete(e.cells, bk)
+			e.stats.CellEvictions++
+		}
+		e.lru.Remove(el)
+		delete(e.lruPos, bk)
+	}
 }
 
 // runCell executes the cell's simulation (after securing its sequential
@@ -353,7 +429,13 @@ func (e *Engine) runCell(ctx context.Context, k cellKey, b workload.Benchmark) (
 	}
 	e.mu.Lock()
 	e.stats.CellRuns++
+	e.stats.InFlight++
 	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.stats.InFlight--
+		e.mu.Unlock()
+	}()
 
 	cfg := k.cfg.WithCores(k.cell.Cores)
 	cfg.Policy = b.Spec.TunePolicy(cfg.Policy)
@@ -402,7 +484,13 @@ func (e *Engine) runSeq(ctx context.Context, cfg sim.Config, b workload.Benchmar
 	}
 	e.mu.Lock()
 	e.stats.SeqRuns++
+	e.stats.InFlight++
 	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.stats.InFlight--
+		e.mu.Unlock()
+	}()
 
 	prog, err := b.Spec.Sequential()
 	if err != nil {

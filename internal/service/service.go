@@ -1,0 +1,439 @@
+// Package service exposes the analysis pipeline as a long-running HTTP
+// API: the speedupd server. It is a thin, heavily-cached serving surface
+// over the exp sweep engine.
+//
+// Endpoints:
+//
+//	GET  /v1/stack?bench=NAME&threads=N[&cores=M][&format=json|csv|svg|text]
+//	POST /v1/sweep        {"cells":[{"bench":"...","threads":N,"cores":M}, ...]}
+//	GET  /v1/benchmarks   registered benchmark analogues
+//	GET  /healthz         liveness probe
+//	GET  /metrics         request counts, cache traffic, in-flight sims
+//
+// Report formats are negotiated per request: an explicit ?format= wins,
+// then the Accept header (application/json, text/csv, image/svg+xml,
+// text/plain), then JSON.
+//
+// Caching and concurrency: results are cached in the engine's memo — an
+// LRU keyed by the full (machine configuration, benchmark, threads, cores)
+// identity, bounded by Options.CacheCells — and concurrent identical
+// requests collapse onto a single simulation (the engine's singleflight
+// protocol), so a thundering herd asking for the same stack costs one
+// simulation. Simulation parallelism across all requests is bounded by the
+// engine's worker pool; requests beyond it queue on the pool rather than
+// piling onto the CPUs.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/stack"
+	"repro/internal/workload"
+)
+
+// Options configures a Server. The zero value serves the paper's default
+// machine with sensible production bounds.
+type Options struct {
+	// Workers bounds concurrent simulations (default: GOMAXPROCS).
+	Workers int
+	// CacheCells bounds the LRU result cache, in cells (default 4096;
+	// negative disables the bound).
+	CacheCells int
+	// SimTimeout caps how long one request waits for its simulations
+	// (default 2m; negative disables). Exceeding it answers 504; the
+	// simulations detach and finish in the background, filling the cache
+	// so a retry is a hit.
+	SimTimeout time.Duration
+	// MaxSweepCells caps the batch size of POST /v1/sweep (default 1024).
+	MaxSweepCells int
+	// Config is the machine configuration (default sim.Default()).
+	Config *sim.Config
+	// Engine, if set, overrides Workers/CacheCells/Config with a
+	// caller-owned engine (tests, embedding).
+	Engine *exp.Engine
+}
+
+const (
+	defaultCacheCells    = 4096
+	defaultSimTimeout    = 2 * time.Minute
+	defaultMaxSweepCells = 1024
+)
+
+// Server is the speedupd HTTP service.
+type Server struct {
+	engine        *exp.Engine
+	simTimeout    time.Duration
+	maxSweepCells int
+	mux           *http.ServeMux
+
+	mu        sync.Mutex
+	requests  map[string]uint64 // by route
+	responses map[int]uint64    // by status code
+}
+
+// New assembles a Server from the options.
+func New(opts Options) *Server {
+	e := opts.Engine
+	if e == nil {
+		cfg := sim.Default()
+		if opts.Config != nil {
+			cfg = *opts.Config
+		}
+		cache := opts.CacheCells
+		if cache == 0 {
+			cache = defaultCacheCells
+		}
+		eopts := []exp.Option{exp.WithCellMemoLimit(cache)}
+		if opts.Workers > 0 {
+			eopts = append(eopts, exp.WithWorkers(opts.Workers))
+		}
+		e = exp.NewEngine(cfg, eopts...)
+	}
+	st := opts.SimTimeout
+	if st == 0 {
+		st = defaultSimTimeout
+	}
+	if st < 0 {
+		st = 0
+	}
+	maxCells := opts.MaxSweepCells
+	if maxCells <= 0 {
+		maxCells = defaultMaxSweepCells
+	}
+	s := &Server{
+		engine:        e,
+		simTimeout:    st,
+		maxSweepCells: maxCells,
+		mux:           http.NewServeMux(),
+		requests:      make(map[string]uint64),
+		responses:     make(map[int]uint64),
+	}
+	s.route("/v1/stack", http.MethodGet, s.handleStack)
+	s.route("/v1/sweep", http.MethodPost, s.handleSweep)
+	s.route("/v1/benchmarks", http.MethodGet, s.handleBenchmarks)
+	s.route("/healthz", http.MethodGet, s.handleHealthz)
+	s.route("/metrics", http.MethodGet, s.handleMetrics)
+	return s
+}
+
+// Engine exposes the server's sweep engine (tests, stats).
+func (s *Server) Engine() *exp.Engine { return s.engine }
+
+// Handler returns the server's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// route registers an instrumented handler: it counts the request, enforces
+// the method, and records the response status.
+func (s *Server) route(path, method string, h func(http.ResponseWriter, *http.Request)) {
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		s.requests[path]++
+		s.mu.Unlock()
+		rw := &statusWriter{ResponseWriter: w}
+		if r.Method != method {
+			rw.Header().Set("Allow", method)
+			s.httpError(rw, http.StatusMethodNotAllowed, "%s requires %s", path, method)
+		} else {
+			h(rw, r)
+		}
+		s.mu.Lock()
+		s.responses[rw.status()]++
+		s.mu.Unlock()
+	})
+}
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// httpError answers a JSON error body with the given status.
+func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseCell validates one requested cell from query parameters.
+func parseCell(bench, threadsStr, coresStr string) (exp.Cell, error) {
+	if bench == "" {
+		return exp.Cell{}, errors.New("missing bench parameter")
+	}
+	threads, err := strconv.Atoi(threadsStr)
+	if err != nil {
+		return exp.Cell{}, fmt.Errorf("bad threads %q: %v", threadsStr, err)
+	}
+	cores := 0
+	if coresStr != "" {
+		if cores, err = strconv.Atoi(coresStr); err != nil {
+			return exp.Cell{}, fmt.Errorf("bad cores %q: %v", coresStr, err)
+		}
+	}
+	return checkCell(exp.Cell{Bench: bench, Threads: threads, Cores: cores})
+}
+
+// checkCell validates a cell (shared by the query and body paths) and
+// normalizes plain-name aliases ("cholesky") to canonical full names, so
+// response labels and cache keys are canonical. The 64-core ceiling is the
+// simulator's hard limit (sim.Config.Validate), which holds for every
+// machine configuration the service can be built with.
+func checkCell(c exp.Cell) (exp.Cell, error) {
+	b, ok := workload.ByName(c.Bench)
+	if !ok {
+		return exp.Cell{}, fmt.Errorf("unknown benchmark %q (see /v1/benchmarks)", c.Bench)
+	}
+	c.Bench = b.FullName()
+	if c.Threads < 1 || c.Threads > 256 {
+		return exp.Cell{}, fmt.Errorf("threads must be in [1,256], got %d", c.Threads)
+	}
+	if c.Cores < 0 || c.Cores > 64 {
+		return exp.Cell{}, fmt.Errorf("cores must be in [0,64], got %d", c.Cores)
+	}
+	// Cores defaults to threads (the paper's pairing), so a bare thread
+	// count must itself fit the simulator's core limit.
+	if c.Cores == 0 && c.Threads > 64 {
+		return exp.Cell{}, fmt.Errorf("threads %d exceeds the simulator's 64-core limit; pass an explicit cores", c.Threads)
+	}
+	return c, nil
+}
+
+// simContext derives the context a request waits under.
+func (s *Server) simContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.simTimeout <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), s.simTimeout)
+}
+
+// sweep runs cells on the engine, detaching from the request when its
+// context expires: the caller gets ctx.Err() promptly (504/408), while the
+// simulations keep running in the background and land in the cache —
+// deterministic work is never wasted, and a retry of the same request
+// becomes a cache hit. Background completion is still bounded by the
+// engine's worker pool and the simulator's MaxCycles safety net.
+func (s *Server) sweep(ctx context.Context, cells []exp.Cell) ([]exp.Outcome, error) {
+	type result struct {
+		outs []exp.Outcome
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		outs, err := s.engine.Sweep(context.Background(), cells)
+		ch <- result{outs, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.outs, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// respond encodes the outcomes in the negotiated format.
+func (s *Server) respond(w http.ResponseWriter, f stack.Format, outs []exp.Outcome) {
+	bars := make([]stack.Bar, len(outs))
+	for i, out := range outs {
+		bars[i] = stack.Bar{Label: out.Bench.FullName(), Stack: out.Stack}
+	}
+	w.Header().Set("Content-Type", f.ContentType())
+	stack.Encode(w, f, bars)
+}
+
+// simError maps a simulation failure onto a status code: timeouts are the
+// gateway's fault (504), cancellations the client's (499-style 408),
+// anything else a 500.
+func (s *Server) simError(w http.ResponseWriter, ctx context.Context, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.httpError(w, http.StatusGatewayTimeout, "simulation exceeded the %s limit", s.simTimeout)
+	case errors.Is(err, context.Canceled):
+		s.httpError(w, http.StatusRequestTimeout, "request canceled")
+	default:
+		s.httpError(w, http.StatusInternalServerError, "simulation failed: %v", err)
+	}
+}
+
+// handleStack serves GET /v1/stack: one (benchmark, threads[, cores]) cell.
+func (s *Server) handleStack(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f, err := stack.NegotiateFormat(q.Get("format"), r.Header.Get("Accept"), stack.FormatJSON)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cell, err := parseCell(q.Get("bench"), q.Get("threads"), q.Get("cores"))
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := s.simContext(r)
+	defer cancel()
+	outs, err := s.sweep(ctx, []exp.Cell{cell})
+	if err != nil {
+		s.simError(w, ctx, err)
+		return
+	}
+	s.respond(w, f, outs)
+}
+
+// sweepRequest is the POST /v1/sweep body.
+type sweepRequest struct {
+	Cells []struct {
+		Bench   string `json:"bench"`
+		Threads int    `json:"threads"`
+		Cores   int    `json:"cores"`
+	} `json:"cells"`
+}
+
+// handleSweep serves POST /v1/sweep: a batch of cells in one engine pass,
+// deduplicated against each other and the cache.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	f, err := stack.NegotiateFormat(r.URL.Query().Get("format"), r.Header.Get("Accept"), stack.FormatJSON)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req sweepRequest
+	if err := dec.Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if len(req.Cells) == 0 {
+		s.httpError(w, http.StatusBadRequest, "empty cell list")
+		return
+	}
+	if len(req.Cells) > s.maxSweepCells {
+		s.httpError(w, http.StatusBadRequest, "%d cells exceeds the %d-cell batch limit",
+			len(req.Cells), s.maxSweepCells)
+		return
+	}
+	cells := make([]exp.Cell, len(req.Cells))
+	for i, c := range req.Cells {
+		cell, err := checkCell(exp.Cell{Bench: c.Bench, Threads: c.Threads, Cores: c.Cores})
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, "cell %d: %v", i, err)
+			return
+		}
+		cells[i] = cell
+	}
+	ctx, cancel := s.simContext(r)
+	defer cancel()
+	outs, err := s.sweep(ctx, cells)
+	if err != nil {
+		s.simError(w, ctx, err)
+		return
+	}
+	s.respond(w, f, outs)
+}
+
+// handleBenchmarks serves GET /v1/benchmarks.
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string][]string{"benchmarks": workload.Names()})
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics serves GET /metrics in Prometheus text exposition format:
+// per-route request counts, per-code response counts, and the engine's
+// simulation/cache counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.engine.Stats()
+	s.mu.Lock()
+	routes := make([]string, 0, len(s.requests))
+	for p := range s.requests {
+		routes = append(routes, p)
+	}
+	sort.Strings(routes)
+	codes := make([]int, 0, len(s.responses))
+	for c := range s.responses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, p := range routes {
+		fmt.Fprintf(w, "speedupd_requests_total{path=%q} %d\n", p, s.requests[p])
+	}
+	for _, c := range codes {
+		fmt.Fprintf(w, "speedupd_responses_total{code=\"%d\"} %d\n", c, s.responses[c])
+	}
+	s.mu.Unlock()
+	fmt.Fprintf(w, "speedupd_sim_cell_runs_total %d\n", st.CellRuns)
+	fmt.Fprintf(w, "speedupd_sim_cell_memo_hits_total %d\n", st.CellHits)
+	fmt.Fprintf(w, "speedupd_sim_seq_runs_total %d\n", st.SeqRuns)
+	fmt.Fprintf(w, "speedupd_sim_seq_memo_hits_total %d\n", st.SeqHits)
+	fmt.Fprintf(w, "speedupd_sim_cell_evictions_total %d\n", st.CellEvictions)
+	fmt.Fprintf(w, "speedupd_sim_inflight %d\n", st.InFlight)
+	hitRate := 0.0
+	if lookups := st.CellRuns + st.CellHits; lookups > 0 {
+		hitRate = float64(st.CellHits) / float64(lookups)
+	}
+	fmt.Fprintf(w, "speedupd_cache_hit_rate %.4f\n", hitRate)
+}
+
+// Serve runs h on l until ctx is canceled, then shuts down gracefully:
+// in-flight requests get up to drain to finish before connections are
+// forced closed. A clean shutdown returns nil.
+func Serve(ctx context.Context, l net.Listener, h http.Handler, drain time.Duration) error {
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx := context.Background()
+	if drain > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(sctx, drain)
+		defer cancel()
+	}
+	err := srv.Shutdown(sctx)
+	<-errc // srv.Serve has returned http.ErrServerClosed
+	return err
+}

@@ -1,0 +1,323 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/stack"
+)
+
+// testBench is cheap to simulate, keeping the handler tests fast.
+const testBench = "blackscholes_parsec_small"
+
+// newTestServer wires a server to an engine whose actual simulations are
+// counted.
+func newTestServer(t *testing.T, opts ...exp.Option) (*Server, *int32) {
+	t.Helper()
+	var sims int32
+	opts = append([]exp.Option{
+		exp.WithWorkers(2),
+		exp.WithRunHook(func(kind, bench string, threads, cores int) {
+			if kind == "cell" {
+				atomic.AddInt32(&sims, 1)
+			}
+		}),
+	}, opts...)
+	e := exp.NewEngine(sim.Default(), opts...)
+	return New(Options{Engine: e}), &sims
+}
+
+func get(t *testing.T, h http.Handler, target string, hdr ...string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, target, nil)
+	for i := 0; i+1 < len(hdr); i += 2 {
+		req.Header.Set(hdr[i], hdr[i+1])
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestStackEndpointJSON(t *testing.T) {
+	s, _ := newTestServer(t)
+	w := get(t, s.Handler(), "/v1/stack?bench="+testBench+"&threads=2")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type %q", ct)
+	}
+	var rows []stack.ReportRow
+	if err := json.Unmarshal(w.Body.Bytes(), &rows); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Benchmark != testBench || rows[0].Threads != 2 {
+		t.Errorf("unexpected rows: %+v", rows)
+	}
+	if rows[0].Actual <= 0 || rows[0].Estimated <= 0 {
+		t.Errorf("speedups not populated: %+v", rows[0])
+	}
+}
+
+func TestStackFormatNegotiation(t *testing.T) {
+	s, _ := newTestServer(t)
+	base := "/v1/stack?bench=" + testBench + "&threads=2"
+
+	w := get(t, s.Handler(), base+"&format=svg")
+	if w.Code != http.StatusOK || !strings.HasPrefix(w.Body.String(), "<svg") {
+		t.Errorf("svg: status %d, body %.40q", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "image/svg+xml" {
+		t.Errorf("svg content type %q", ct)
+	}
+
+	w = get(t, s.Handler(), base, "Accept", "text/csv")
+	if w.Code != http.StatusOK || !strings.HasPrefix(w.Body.String(), "label,threads,") {
+		t.Errorf("csv via Accept: status %d, body %.40q", w.Code, w.Body.String())
+	}
+
+	// The explicit query parameter beats Accept.
+	w = get(t, s.Handler(), base+"&format=text", "Accept", "text/csv")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "legend:") {
+		t.Errorf("text via query: status %d", w.Code)
+	}
+}
+
+func TestStackBadParams(t *testing.T) {
+	s, _ := newTestServer(t)
+	cases := []string{
+		"/v1/stack",                    // missing bench + threads
+		"/v1/stack?bench=" + testBench, // missing threads
+		"/v1/stack?bench=" + testBench + "&threads=zero", // non-numeric
+		"/v1/stack?bench=" + testBench + "&threads=0",    // out of range
+		"/v1/stack?bench=" + testBench + "&threads=65",   // exceeds cores
+		"/v1/stack?bench=" + testBench + "&threads=2&cores=65",
+		"/v1/stack?bench=nosuch&threads=2",
+		"/v1/stack?bench=" + testBench + "&threads=2&format=bogus",
+	}
+	for _, target := range cases {
+		if w := get(t, s.Handler(), target); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", target, w.Code, w.Body)
+		}
+	}
+	if w := get(t, s.Handler(), "/v1/sweep"); w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/sweep: status %d, want 405", w.Code)
+	}
+	// A failed request must not have cost a simulation.
+	if st := s.Engine().Stats(); st.CellRuns != 0 {
+		t.Errorf("bad params ran %d simulations", st.CellRuns)
+	}
+}
+
+// TestSingleflightCollapse is the acceptance check: concurrent identical
+// requests produce exactly one underlying simulation and identical bodies.
+func TestSingleflightCollapse(t *testing.T) {
+	s, sims := newTestServer(t)
+	const clients = 8
+	target := "/v1/stack?bench=" + testBench + "&threads=4"
+
+	bodies := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := get(t, s.Handler(), target)
+			if w.Code != http.StatusOK {
+				t.Errorf("client %d: status %d", i, w.Code)
+			}
+			bodies[i] = w.Body.String()
+		}(i)
+	}
+	wg.Wait()
+
+	if got := atomic.LoadInt32(sims); got != 1 {
+		t.Errorf("%d concurrent identical requests ran %d simulations, want 1", clients, got)
+	}
+	for i := 1; i < clients; i++ {
+		if bodies[i] != bodies[0] {
+			t.Errorf("client %d body differs from client 0", i)
+		}
+	}
+}
+
+func TestCacheHitOnRepeat(t *testing.T) {
+	s, sims := newTestServer(t)
+	target := "/v1/stack?bench=" + testBench + "&threads=2"
+	first := get(t, s.Handler(), target)
+	second := get(t, s.Handler(), target)
+	if first.Code != 200 || second.Code != 200 {
+		t.Fatalf("statuses %d, %d", first.Code, second.Code)
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Errorf("cached response differs")
+	}
+	if got := atomic.LoadInt32(sims); got != 1 {
+		t.Errorf("repeat request re-simulated (%d runs)", got)
+	}
+	m := get(t, s.Handler(), "/metrics").Body.String()
+	for _, want := range []string{
+		"speedupd_sim_cell_runs_total 1",
+		"speedupd_sim_cell_memo_hits_total 1",
+		`speedupd_requests_total{path="/v1/stack"} 2`,
+		"speedupd_cache_hit_rate 0.5000",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics missing %q:\n%s", want, m)
+		}
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	s, sims := newTestServer(t)
+	// Three declared cells, two identical and one a plain-name alias: the
+	// engine must run exactly two simulations, and the alias must come
+	// back under its canonical full name (the registry's first match).
+	body := fmt.Sprintf(`{"cells":[
+		{"bench":%q,"threads":2},
+		{"bench":%q,"threads":2},
+		{"bench":"swaptions","threads":2}]}`, testBench, testBench)
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var rows []stack.ReportRow
+	if err := json.Unmarshal(w.Body.Bytes(), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0].Benchmark != testBench || rows[1].Benchmark != testBench {
+		t.Errorf("unexpected rows: %+v", rows)
+	}
+	if len(rows) == 3 && rows[2].Benchmark != "swaptions_parsec_medium" {
+		t.Errorf("alias not normalized: %q", rows[2].Benchmark)
+	}
+	if got := atomic.LoadInt32(sims); got != 2 {
+		t.Errorf("sweep ran %d simulations, want 2 (dedup)", got)
+	}
+}
+
+func TestSweepBadRequests(t *testing.T) {
+	s, _ := newTestServer(t)
+	post := func(body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		return w
+	}
+	for _, body := range []string{
+		``, `not json`, `{"cells":[]}`,
+		`{"cells":[{"bench":"nosuch","threads":2}]}`,
+		`{"cells":[{"bench":"blackscholes","threads":0}]}`,
+		`{"unknown":1}`,
+	} {
+		if w := post(body); w.Code != http.StatusBadRequest {
+			t.Errorf("body %.30q: status %d, want 400", body, w.Code)
+		}
+	}
+	// Batch limit.
+	srv := New(Options{Engine: s.Engine(), MaxSweepCells: 2})
+	var cells []string
+	for i := 0; i < 3; i++ {
+		cells = append(cells, fmt.Sprintf(`{"bench":%q,"threads":%d}`, testBench, i+2))
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep",
+		strings.NewReader(`{"cells":[`+strings.Join(cells, ",")+`]}`))
+	w := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("over-limit batch: status %d, want 400", w.Code)
+	}
+}
+
+func TestBenchmarksAndHealthz(t *testing.T) {
+	s, _ := newTestServer(t)
+	w := get(t, s.Handler(), "/v1/benchmarks")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	var resp map[string][]string
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp["benchmarks"]) < 20 {
+		t.Errorf("only %d benchmarks listed", len(resp["benchmarks"]))
+	}
+	if w := get(t, s.Handler(), "/healthz"); w.Code != 200 || w.Body.String() != "ok\n" {
+		t.Errorf("healthz: %d %q", w.Code, w.Body.String())
+	}
+}
+
+func TestSimTimeoutDetaches(t *testing.T) {
+	// A 1ns budget cannot wait for any simulation: the request must
+	// answer 504 rather than hang — but the detached simulation still
+	// completes and fills the cache, so a patient retry is a hit.
+	e := exp.NewEngine(sim.Default(), exp.WithWorkers(1))
+	s := New(Options{Engine: e, SimTimeout: time.Nanosecond})
+	target := "/v1/stack?bench=" + testBench + "&threads=2"
+	if w := get(t, s.Handler(), target); w.Code != http.StatusGatewayTimeout {
+		t.Errorf("status %d, want 504 (%s)", w.Code, w.Body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for e.Stats().CellRuns == 0 || e.Stats().InFlight > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("detached simulation never completed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	patient := New(Options{Engine: e, SimTimeout: time.Minute})
+	if w := get(t, patient.Handler(), target); w.Code != http.StatusOK {
+		t.Errorf("retry after detach: status %d, want 200 (%s)", w.Code, w.Body)
+	}
+	if st := e.Stats(); st.CellRuns != 1 || st.CellHits != 1 {
+		t.Errorf("retry re-simulated: %+v", st)
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	s, _ := newTestServer(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Serve(ctx, l, s.Handler(), 5*time.Second) }()
+
+	url := "http://" + l.Addr().String()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz over the wire: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v, want nil on clean shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after cancel")
+	}
+	if _, err := net.DialTimeout("tcp", l.Addr().String(), time.Second); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}

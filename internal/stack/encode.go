@@ -1,0 +1,233 @@
+package stack
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Format selects a report encoding. The same set of formats is understood by
+// the library encoders (Encode), the speedup-stack CLI (-format) and the
+// speedupd HTTP service (?format= / Accept negotiation).
+type Format string
+
+// The supported report formats.
+const (
+	// FormatText is the human-oriented ASCII rendering: stacked bars plus
+	// the numeric component table.
+	FormatText Format = "text"
+	// FormatJSON is an indented JSON array of ReportRow objects.
+	FormatJSON Format = "json"
+	// FormatCSV is one header row plus one record per stack, every
+	// component in speedup units.
+	FormatCSV Format = "csv"
+	// FormatSVG is a standalone SVG document drawing the stacks as
+	// vertical stacked bars with a legend and measured-speedup markers.
+	FormatSVG Format = "svg"
+)
+
+// Formats lists the supported report formats in presentation order.
+func Formats() []Format {
+	return []Format{FormatText, FormatJSON, FormatCSV, FormatSVG}
+}
+
+// ParseFormat resolves a format name ("text", "json", "csv", "svg"; "txt" is
+// accepted as an alias) case-insensitively.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "text", "txt":
+		return FormatText, nil
+	case "json":
+		return FormatJSON, nil
+	case "csv":
+		return FormatCSV, nil
+	case "svg":
+		return FormatSVG, nil
+	}
+	return "", fmt.Errorf("stack: unknown format %q (want one of %v)", s, Formats())
+}
+
+// ContentType returns the MIME type a report in this format should be
+// served with.
+func (f Format) ContentType() string {
+	switch f {
+	case FormatJSON:
+		return "application/json; charset=utf-8"
+	case FormatCSV:
+		return "text/csv; charset=utf-8"
+	case FormatSVG:
+		return "image/svg+xml"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+// acceptFormats maps media types of an HTTP Accept header onto formats.
+var acceptFormats = map[string]Format{
+	"application/json": FormatJSON,
+	"text/json":        FormatJSON,
+	"text/csv":         FormatCSV,
+	"image/svg+xml":    FormatSVG,
+	"text/plain":       FormatText,
+}
+
+// NegotiateFormat picks the report format for an HTTP request: an explicit
+// query value (?format=csv) wins, then the first recognized media type of
+// the Accept header, then def. An unknown query value is an error (the
+// caller should answer 400); unrecognized Accept entries are skipped, so a
+// browser's default Accept header falls through to def.
+func NegotiateFormat(query, accept string, def Format) (Format, error) {
+	if query != "" {
+		return ParseFormat(query)
+	}
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		if f, ok := acceptFormats[strings.ToLower(mt)]; ok {
+			return f, nil
+		}
+	}
+	return def, nil
+}
+
+// ReportComponents are one stack's components in speedup units, named after
+// the paper's Figure 5 vocabulary. All values are rounded to 4 decimals.
+type ReportComponents struct {
+	// PosLLC is positive LLC interference (it raises the speedup).
+	PosLLC float64 `json:"pos_llc"`
+	// NegLLC is gross negative LLC interference; NetLLC is max(0, neg-pos),
+	// the white component of Figure 5.
+	NegLLC    float64 `json:"neg_llc"`
+	NetLLC    float64 `json:"net_llc"`
+	Memory    float64 `json:"memory"`
+	Spinning  float64 `json:"spinning"`
+	Yielding  float64 `json:"yielding"`
+	Imbalance float64 `json:"imbalance"`
+}
+
+// ReportRow is the machine-readable form of one speedup stack.
+type ReportRow struct {
+	Benchmark string `json:"benchmark"`
+	Threads   int    `json:"threads"`
+	// TpCycles is the multi-threaded execution time in cycles.
+	TpCycles uint64 `json:"tp_cycles"`
+	// Estimated is Ŝ from the accounting hardware; Actual is the measured
+	// Ts/Tp (0 when no sequential reference was run); Base is Formula (5).
+	Estimated float64 `json:"estimated_speedup"`
+	Actual    float64 `json:"actual_speedup"`
+	Base      float64 `json:"base_speedup"`
+	// Components are the scaling delimiters in speedup units.
+	Components ReportComponents `json:"components"`
+}
+
+// round4 keeps report floats stable and readable (4 decimals, matching the
+// CSV emitters).
+func round4(v float64) float64 { return math.Round(v*1e4) / 1e4 }
+
+// Row converts one bar into its report form.
+func Row(b Bar) ReportRow {
+	s := b.Stack
+	tp := float64(s.Tp)
+	net := s.Components.Net()
+	if net < 0 {
+		net = 0
+	}
+	base := s.Base()
+	if base < 0 {
+		base = 0
+	}
+	return ReportRow{
+		Benchmark: b.Label,
+		Threads:   s.N,
+		TpCycles:  s.Tp,
+		Estimated: round4(s.Estimated()),
+		Actual:    round4(s.ActualSpeedup),
+		Base:      round4(base),
+		Components: ReportComponents{
+			PosLLC:    round4(s.Components.PosLLC / tp),
+			NegLLC:    round4(s.Components.NegLLC / tp),
+			NetLLC:    round4(net / tp),
+			Memory:    round4(s.Components.NegMem / tp),
+			Spinning:  round4(s.Components.Spin / tp),
+			Yielding:  round4(s.Components.Yield / tp),
+			Imbalance: round4(s.Components.Imbalance / tp),
+		},
+	}
+}
+
+// Rows converts a set of bars into report rows, preserving order.
+func Rows(bars []Bar) []ReportRow {
+	rows := make([]ReportRow, len(bars))
+	for i, b := range bars {
+		rows[i] = Row(b)
+	}
+	return rows
+}
+
+// EncodeJSON writes the bars as an indented JSON array of ReportRow
+// objects, one per stack, terminated by a newline.
+func EncodeJSON(w io.Writer, bars []Bar) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Rows(bars))
+}
+
+// EncodeCSV writes one header row plus one record per stack with every
+// component in speedup units. The column layout is shared with the
+// experiment harness's figure CSV emitters.
+func EncodeCSV(w io.Writer, bars []Bar) error {
+	cw := csv.NewWriter(w)
+	header := []string{"label", "threads", "estimated", "actual",
+		"base", "posLLC", "negLLC", "netLLC", "memory", "spin", "yield", "imbalance"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, b := range bars {
+		s := b.Stack
+		tp := float64(s.Tp)
+		rec := []string{
+			b.Label, strconv.Itoa(s.N), csvF(s.Estimated()), csvF(s.ActualSpeedup),
+			csvF(s.Base()), csvF(s.Components.PosLLC / tp), csvF(s.Components.NegLLC / tp),
+			csvF(s.Components.Net() / tp), csvF(s.Components.NegMem / tp),
+			csvF(s.Components.Spin / tp), csvF(s.Components.Yield / tp),
+			csvF(s.Components.Imbalance / tp),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func csvF(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// Encode writes the bars to w in the requested format. Text combines the
+// ASCII rendering with the numeric table; the other formats are the
+// machine-readable encoders above.
+func Encode(w io.Writer, f Format, bars []Bar) error {
+	switch f {
+	case FormatText, "":
+		if _, err := io.WriteString(w, Render(bars, 64)); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, Table(bars))
+		return err
+	case FormatJSON:
+		return EncodeJSON(w, bars)
+	case FormatCSV:
+		return EncodeCSV(w, bars)
+	case FormatSVG:
+		return EncodeSVG(w, bars)
+	}
+	return fmt.Errorf("stack: unknown format %q", f)
+}

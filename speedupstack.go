@@ -33,6 +33,7 @@ package speedupstack
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 
 	"repro/internal/core"
@@ -115,13 +116,49 @@ func Render(r Result) string {
 	return stack.Render([]stack.Bar{{Label: r.Benchmark, Stack: r.Stack}}, 64)
 }
 
+// Format selects a report encoding for Encode. The speedup-stack CLI
+// (-format) and the speedupd HTTP service (?format=) understand the same
+// names.
+type Format = stack.Format
+
+// The supported report formats.
+const (
+	FormatText = stack.FormatText
+	FormatJSON = stack.FormatJSON
+	FormatCSV  = stack.FormatCSV
+	FormatSVG  = stack.FormatSVG
+)
+
+// Formats lists the supported report formats.
+func Formats() []Format { return stack.Formats() }
+
+// ParseFormat resolves a format name case-insensitively.
+func ParseFormat(s string) (Format, error) { return stack.ParseFormat(s) }
+
+// Encode writes the results to w in the requested format: FormatText is
+// the ASCII rendering plus the numeric table, FormatJSON an indented JSON
+// array, FormatCSV a header plus one record per result, and FormatSVG a
+// standalone SVG chart.
+func Encode(w io.Writer, f Format, rs ...Result) error {
+	return stack.Encode(w, f, bars(rs))
+}
+
+// RenderSVG draws the results as a standalone SVG speedup-stack chart.
+func RenderSVG(rs ...Result) string {
+	return stack.SVG(bars(rs))
+}
+
+func bars(rs []Result) []stack.Bar {
+	out := make([]stack.Bar, len(rs))
+	for i, r := range rs {
+		out[i] = stack.Bar{Label: r.Benchmark, Stack: r.Stack}
+	}
+	return out
+}
+
 // Table renders a numeric component table for one or more results.
 func Table(rs ...Result) string {
-	bars := make([]stack.Bar, len(rs))
-	for i, r := range rs {
-		bars[i] = stack.Bar{Label: r.Benchmark, Stack: r.Stack}
-	}
-	return stack.Table(bars)
+	return stack.Table(bars(rs))
 }
 
 // TopBottlenecks names the largest scaling delimiters of a result, largest
