@@ -11,10 +11,18 @@
 // Usage:
 //
 //	experiments [flags] [fig1|fig4|fig5|fig6|fig7|fig8|fig9|validation|hwcost|ablation|all]
+//	experiments custom -spec mykernel.json
+//
+// The custom section is the bring-your-own-benchmark path: it sweeps the
+// workload described by -spec FILE (a JSON workload spec) across thread
+// counts on the same engine, machine and dedup pipeline as the paper's
+// figures. It only runs when named explicitly — "all" regenerates exactly
+// the paper's artifacts.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +32,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/sim"
 	"repro/internal/stack"
+	"repro/internal/workload"
 )
 
 // section is one regenerable artifact: the name selects it on the command
@@ -32,6 +41,10 @@ type section struct {
 	name string
 	run  func(context.Context, *exp.Engine) error
 }
+
+// onDemand marks sections that run only when named explicitly, never under
+// "all" — "all" regenerates exactly the paper's artifacts.
+var onDemand = map[string]bool{"custom": true}
 
 // sections is the single registry the command-line validation and the
 // execution loop both read, in output order.
@@ -127,7 +140,45 @@ var sections = []section{
 		fmt.Print(exp.FormatQuantum(qr))
 		return nil
 	}},
+	{"custom", func(ctx context.Context, e *exp.Engine) error {
+		if *specPath == "" {
+			return errors.New("the custom section needs -spec FILE (a workload spec JSON)")
+		}
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		spec, err := workload.ParseSpec(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *specPath, err)
+		}
+		fmt.Printf("workload %s (fingerprint %s)\n\n",
+			workload.Benchmark{Spec: spec}.FullName(), spec.Fingerprint().Short())
+		var cells []exp.Cell
+		for _, n := range []int{1, 2, 4, 8, 16} {
+			cells = append(cells, exp.Cell{Spec: &spec, Threads: n})
+		}
+		outs, err := e.Sweep(ctx, cells)
+		if err != nil {
+			return err
+		}
+		bars := make([]stack.Bar, len(outs))
+		for i, o := range outs {
+			bars[i] = stack.Bar{
+				Label: fmt.Sprintf("%s x%d", o.Bench.FullName(), o.Threads),
+				Stack: o.Stack,
+			}
+		}
+		fmt.Print(stack.Render(bars, 64))
+		fmt.Println()
+		fmt.Print(stack.Table(bars))
+		return nil
+	}},
 }
+
+// specPath feeds the custom section; it is a flag so it parses alongside
+// the shared -workers/-timeout/-q options.
+var specPath = flag.String("spec", "", "workload spec JSON for the custom section")
 
 func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulation workers")
@@ -176,6 +227,9 @@ func main() {
 	failed := 0
 	for _, s := range sections {
 		if which != "all" && which != s.name {
+			continue
+		}
+		if which == "all" && onDemand[s.name] {
 			continue
 		}
 		t0 := time.Now()

@@ -1,14 +1,18 @@
 // Command speedup-stack measures and prints the speedup stack of one
-// benchmark analogue.
+// benchmark analogue or of a custom workload spec.
 //
 // Usage:
 //
 //	speedup-stack -bench cholesky -threads 16
 //	speedup-stack -bench radix_splash2 -threads 8 -format svg > radix.svg
+//	speedup-stack -spec mykernel.json -threads 16
 //	speedup-stack -list
 //
-// -format selects the report encoding: text (ASCII bars, component table
-// and top bottlenecks), json, csv, or svg (a standalone chart).
+// -spec FILE analyzes a bring-your-own-benchmark workload spec (the JSON
+// form of a workload description; see the README's "Custom workloads"
+// section) instead of a registered analogue, and takes precedence over
+// -bench. -format selects the report encoding: text (ASCII bars, component
+// table and top bottlenecks), json, csv, or svg (a standalone chart).
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 
 func main() {
 	bench := flag.String("bench", "cholesky_splash2", "benchmark (name or name_suite)")
+	spec := flag.String("spec", "", "workload spec JSON file (overrides -bench)")
 	threads := flag.Int("threads", 16, "thread count (= core count)")
 	format := flag.String("format", "text", "output format: text|json|csv|svg")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
@@ -38,7 +43,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	res, err := speedupstack.Measure(*bench, *threads)
+	res, err := measure(*spec, *bench, *threads)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -54,4 +59,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// measure resolves the workload — a spec file or a registered name — and
+// runs it.
+func measure(specPath, bench string, threads int) (speedupstack.Result, error) {
+	if specPath == "" {
+		return speedupstack.Measure(bench, threads)
+	}
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		return speedupstack.Result{}, err
+	}
+	w, err := speedupstack.ParseWorkload(data)
+	if err != nil {
+		return speedupstack.Result{}, fmt.Errorf("%s: %w", specPath, err)
+	}
+	return speedupstack.MeasureSpec(w, threads)
 }

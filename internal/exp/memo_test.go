@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // countingHook tallies actual simulations per (kind, bench, threads).
@@ -68,6 +69,118 @@ func TestCellMemoLimitEviction(t *testing.T) {
 	}
 	if !reflect.DeepEqual(outA1[0].Stack, outA2[0].Stack) {
 		t.Errorf("re-simulated outcome differs:\n%+v\n%+v", outA1[0].Stack, outA2[0].Stack)
+	}
+}
+
+// testSpec returns a small custom data-parallel spec under the given name.
+// The behavioural fields are fixed, so any two calls produce
+// fingerprint-identical workloads regardless of naming.
+func testSpec(name string) workload.Spec {
+	return workload.Spec{
+		Name: name, Kind: workload.KindDataParallel,
+		ArrayBytes: 1 << 19, SweepsPerPhase: 1, Phases: 1, InstrPerAccess: 2500,
+		StoreFrac: 0.1, Seed: 77,
+	}
+}
+
+// TestInlineSpecsDedupAcrossNames is the keying acceptance test: two cells
+// carrying behaviourally identical specs under different names are ONE
+// simulation (identity is the canonical fingerprint, not the name), and
+// each outcome still comes back labeled with its own cell's name.
+func TestInlineSpecsDedupAcrossNames(t *testing.T) {
+	h := newCountingHook()
+	e := NewEngine(sim.Default(), WithWorkers(2), WithRunHook(h.hook))
+	alpha, beta := testSpec("alpha"), testSpec("beta")
+	outs, err := e.Sweep(context.Background(), []Cell{
+		{Spec: &alpha, Threads: 2},
+		{Spec: &beta, Threads: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.CellRuns != 1 || st.SeqRuns != 1 {
+		t.Errorf("identical specs under two names ran %d cell + %d seq simulations, want 1 + 1",
+			st.CellRuns, st.SeqRuns)
+	}
+	if got := outs[0].Bench.FullName(); got != "alpha" {
+		t.Errorf("first outcome labeled %q, want alpha", got)
+	}
+	if got := outs[1].Bench.FullName(); got != "beta" {
+		t.Errorf("second outcome labeled %q, want beta (labels must survive dedup)", got)
+	}
+	if !reflect.DeepEqual(outs[0].Stack, outs[1].Stack) {
+		t.Error("fingerprint-equal specs produced different stacks")
+	}
+}
+
+// TestInlineSpecSharesMemoWithRegistry checks the other collapse the
+// fingerprint keying buys: an inline spec identical to a registered
+// analogue hits the registry cell's memo entry (and vice versa).
+func TestInlineSpecSharesMemoWithRegistry(t *testing.T) {
+	h := newCountingHook()
+	e := NewEngine(sim.Default(), WithWorkers(2), WithRunHook(h.hook))
+	ctx := context.Background()
+	if _, err := e.Sweep(ctx, []Cell{{Bench: "blackscholes_parsec_small", Threads: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := workload.ByName("blackscholes_parsec_small")
+	spec := b.Spec
+	spec.Name, spec.Suite = "my-blackscholes", "" // renaming must not change identity
+	outs, err := e.Sweep(ctx, []Cell{{Spec: &spec, Threads: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.CellRuns != 1 {
+		t.Errorf("inline twin of a registry cell re-simulated: %+v", st)
+	}
+	if got := outs[0].Bench.FullName(); got != "my-blackscholes" {
+		t.Errorf("outcome labeled %q, want my-blackscholes", got)
+	}
+}
+
+// TestSpecTwoConfigsSimulateTwice pins the other half of the key: the same
+// spec under two machine configurations is two distinct simulations.
+func TestSpecTwoConfigsSimulateTwice(t *testing.T) {
+	h := newCountingHook()
+	e := NewEngine(sim.Default(), WithWorkers(2), WithRunHook(h.hook))
+	ctx := context.Background()
+	spec := testSpec("cfgsweep")
+	cells := []Cell{{Spec: &spec, Threads: 2}}
+	if _, err := e.Sweep(ctx, cells); err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Default()
+	cfg.Quantum = 200
+	if _, err := e.SweepConfig(ctx, cfg, cells); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.count("cell:cfgsweep"); got != 2 {
+		t.Errorf("same spec under two configs simulated %d times, want 2", got)
+	}
+	if got := h.count("seq:cfgsweep"); got != 2 {
+		t.Errorf("sequential reference under two configs simulated %d times, want 2", got)
+	}
+	// Re-requesting under either config is now a pure memo hit.
+	before := e.Stats()
+	if _, err := e.SweepConfig(ctx, cfg, cells); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.CellRuns != before.CellRuns {
+		t.Errorf("repeat under explicit config re-simulated: %+v", st)
+	}
+}
+
+// TestInlineSpecInvalid fails fast with the validation error, before any
+// simulation is spent.
+func TestInlineSpecInvalid(t *testing.T) {
+	e := NewEngine(sim.Default())
+	bad := workload.Spec{Name: "broken", Kind: workload.KindDataParallel}
+	_, err := e.Sweep(context.Background(), []Cell{{Spec: &bad, Threads: 2}})
+	if err == nil {
+		t.Fatal("invalid inline spec accepted")
+	}
+	if st := e.Stats(); st.CellRuns != 0 || st.SeqRuns != 0 {
+		t.Errorf("simulations ran despite invalid spec: %+v", st)
 	}
 }
 

@@ -12,10 +12,15 @@
 //
 // Dedup and memoization semantics:
 //
-//   - The unit of memoization is the pair (sim.Config, Cell): two requests
-//     are "the same simulation" exactly when the full machine configuration
-//     and the normalized cell agree. sim.Config is a comparable value
-//     struct, so keys need no serialization.
+//   - The unit of memoization is (sim.Config, workload fingerprint,
+//     threads, cores): two requests are "the same simulation" exactly when
+//     the full machine configuration, the canonical workload identity
+//     (workload.Spec.Fingerprint — a name-independent hash of the canonical
+//     spec) and the normalized run shape agree. Registry names, plain-name
+//     aliases and inline custom specs all resolve to fingerprints, so a
+//     bring-your-own spec identical to a registered analogue is one
+//     simulation. sim.Config is a comparable value struct and the
+//     fingerprint a byte array, so keys need no serialization.
 //   - Sequential references (the single-threaded run every speedup stack is
 //     measured against) are memoized separately, keyed by the configuration
 //     normalized to one core — Ts does not depend on the sweep's core
@@ -116,11 +121,21 @@ func (r *Runner) Run(b workload.Benchmark, threads int) (Outcome, error) {
 }
 
 // RunOn executes b with the given software thread count on cores cores
-// (threads may exceed cores, as in Figure 7). Unlike Engine.Sweep, b need
-// not be registered: the memo keys on b.FullName(), so within one Runner a
-// name identifies one workload.
+// (threads may exceed cores, as in Figure 7). b need not be registered: the
+// memo keys on the spec's canonical fingerprint, so any two benchmarks
+// describing the same workload — registered or not, whatever their names —
+// share one simulation.
 func (r *Runner) RunOn(b workload.Benchmark, threads, cores int) (Outcome, error) {
-	cell := Cell{Bench: b.FullName(), Threads: threads, Cores: cores}.normalize()
-	k := cellKey{cfg: r.e.Config(), cell: cell}
-	return r.e.cell(context.Background(), k, b)
+	if err := b.Spec.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	cell := Cell{Threads: threads, Cores: cores}.normalize()
+	k := cellKey{cfg: r.e.Config(), fp: b.Spec.Fingerprint(),
+		threads: cell.Threads, cores: cell.Cores}
+	out, err := r.e.cell(context.Background(), k, b)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out.Bench = b // a fingerprint-equal alias may have simulated first
+	return out, nil
 }

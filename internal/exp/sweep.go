@@ -12,19 +12,32 @@ import (
 )
 
 // The sweep engine executes a declared set of simulation cells — each a
-// (benchmark, threads, cores) triple under a machine configuration — on a
+// (workload, threads, cores) triple under a machine configuration — on a
 // bounded worker pool. Cells shared between figures are simulated exactly
 // once: both sequential references and full Outcomes are memoized for the
-// lifetime of the Engine, keyed by the complete machine configuration, so
-// regenerating the whole evaluation is a single deduplicated parallel pass.
-// Every simulation is a deterministic function of (config, workload), and
-// results are returned in declared order, so figure output is byte-identical
-// regardless of the worker count.
+// lifetime of the Engine, keyed by the complete machine configuration plus
+// the workload's canonical fingerprint, so regenerating the whole
+// evaluation is a single deduplicated parallel pass. Every simulation is a
+// deterministic function of (config, workload), and results are returned in
+// declared order, so figure output is byte-identical regardless of the
+// worker count.
 
-// Cell is one declared simulation: a benchmark at a thread count on a core
+// Cell is one declared simulation: a workload at a thread count on a core
 // count. Cores == 0 means threads = cores, the paper's default pairing.
+//
+// The workload is either a registered benchmark named by Bench (FullName or
+// plain name) or an inline Spec — the bring-your-own-benchmark path. Both
+// resolve to the same identity, the spec's canonical workload.Fingerprint,
+// which is what the memo keys on: a custom spec identical to a registry
+// analogue (or to another custom spec under a different name) is the same
+// simulation and runs once.
 type Cell struct {
-	Bench   string
+	// Bench names a registered benchmark analogue. Ignored when Spec is set.
+	Bench string
+	// Spec is an inline workload description. It is validated during
+	// resolution and participates in dedup and memoization exactly like a
+	// registry benchmark.
+	Spec    *workload.Spec
 	Threads int
 	Cores   int
 }
@@ -47,18 +60,41 @@ type Request struct {
 }
 
 // cellKey identifies a memoized Outcome: the full pre-tuning machine
-// configuration plus the cell. sim.Config is a tree of flat value structs,
-// so it is comparable and needs no serialization.
+// configuration plus the workload identity and run shape. sim.Config is a
+// tree of flat value structs and Fingerprint a byte array, so the key is
+// comparable and needs no serialization. Keying on the fingerprint rather
+// than a name means registry cells, plain-name aliases and inline specs all
+// collapse onto one entry when they describe the same workload.
 type cellKey struct {
-	cfg  sim.Config
-	cell Cell
+	cfg     sim.Config
+	fp      workload.Fingerprint
+	threads int
+	cores   int
 }
 
 // seqKey identifies a memoized sequential reference. The configuration is
 // normalized to one core: Ts does not depend on the sweep's core count.
 type seqKey struct {
-	cfg   sim.Config
-	bench string
+	cfg sim.Config
+	fp  workload.Fingerprint
+}
+
+// resolveCell maps a cell to the workload it names: the validated canonical
+// form of an inline Spec, or the registry entry for Bench (failing with the
+// nearest-name suggestion).
+func resolveCell(c Cell) (workload.Benchmark, error) {
+	if c.Spec != nil {
+		s := *c.Spec
+		if err := s.Validate(); err != nil {
+			return workload.Benchmark{}, err
+		}
+		return workload.Benchmark{Spec: s.Canonical()}, nil
+	}
+	b, ok := workload.ByName(c.Bench)
+	if !ok {
+		return workload.Benchmark{}, workload.UnknownBenchmarkError(c.Bench)
+	}
+	return b, nil
 }
 
 // entry is a singleflight slot for one unique simulation. The claimant
@@ -255,27 +291,30 @@ func (e *Engine) SweepConfig(ctx context.Context, cfg sim.Config, cells []Cell) 
 // declared order is returned; a canceled context aborts promptly without
 // waiting for queued cells.
 func (e *Engine) Do(ctx context.Context, reqs []Request) ([]Outcome, error) {
-	// Resolve benchmarks and keys up front so unknown names fail before
-	// any simulation is spent.
+	// Resolve workloads and keys up front so unknown names and invalid
+	// inline specs fail before any simulation is spent.
 	keys := make([]cellKey, len(reqs))
-	benches := make(map[string]workload.Benchmark, len(reqs))
+	resolved := make([]workload.Benchmark, len(reqs))
+	benches := make(map[workload.Fingerprint]workload.Benchmark, len(reqs))
 	for i, req := range reqs {
 		cell := req.Cell.normalize()
 		if cell.Threads <= 0 {
 			return nil, fmt.Errorf("exp: cell %d: non-positive thread count %d", i, cell.Threads)
 		}
-		if _, ok := benches[cell.Bench]; !ok {
-			b, ok := workload.ByName(cell.Bench)
-			if !ok {
-				return nil, fmt.Errorf("exp: unknown benchmark %q", cell.Bench)
-			}
-			benches[cell.Bench] = b
+		b, err := resolveCell(req.Cell)
+		if err != nil {
+			return nil, fmt.Errorf("exp: cell %d: %w", i, err)
+		}
+		resolved[i] = b
+		fp := b.Spec.Fingerprint()
+		if _, ok := benches[fp]; !ok {
+			benches[fp] = b
 		}
 		cfg := e.base
 		if req.Config != nil {
 			cfg = *req.Config
 		}
-		keys[i] = cellKey{cfg: cfg, cell: cell}
+		keys[i] = cellKey{cfg: cfg, fp: fp, threads: cell.Threads, cores: cell.Cores}
 	}
 
 	// Collapse duplicates within the batch, preserving first-seen order.
@@ -302,7 +341,7 @@ func (e *Engine) Do(ctx context.Context, reqs []Request) ([]Outcome, error) {
 		wg.Add(1)
 		go func(i int, k cellKey) {
 			defer wg.Done()
-			out, err := e.cell(ctx, k, benches[k.cell.Bench])
+			out, err := e.cell(ctx, k, benches[k.fp])
 			if err != nil {
 				errs[i] = err
 				cancel()
@@ -336,6 +375,10 @@ func (e *Engine) Do(ctx context.Context, reqs []Request) ([]Outcome, error) {
 	outs := make([]Outcome, len(reqs))
 	for i, k := range keys {
 		outs[i] = results[seen[k]]
+		// Identity is the fingerprint, so a memoized outcome may carry the
+		// naming of whichever alias simulated it first; relabel each
+		// returned copy with the caller's own resolution.
+		outs[i].Bench = resolved[i]
 	}
 	return outs, nil
 }
@@ -425,7 +468,7 @@ func (e *Engine) runCell(ctx context.Context, k cellKey, b workload.Benchmark) (
 		return Outcome{}, err
 	}
 	if e.hook != nil {
-		e.hook("cell", k.cell.Bench, k.cell.Threads, k.cell.Cores)
+		e.hook("cell", b.FullName(), k.threads, k.cores)
 	}
 	e.mu.Lock()
 	e.stats.CellRuns++
@@ -437,20 +480,20 @@ func (e *Engine) runCell(ctx context.Context, k cellKey, b workload.Benchmark) (
 		e.mu.Unlock()
 	}()
 
-	cfg := k.cfg.WithCores(k.cell.Cores)
+	cfg := k.cfg.WithCores(k.cores)
 	cfg.Policy = b.Spec.TunePolicy(cfg.Policy)
-	progs, err := b.Spec.Parallel(k.cell.Threads)
+	progs, err := b.Spec.Parallel(k.threads)
 	if err != nil {
 		return Outcome{}, err
 	}
-	res, err := sim.Run(cfg, progs, b.Spec.PipelineOptions(k.cell.Threads)...)
+	res, err := sim.Run(cfg, progs, b.Spec.PipelineOptions(k.threads)...)
 	if err != nil {
-		return Outcome{}, fmt.Errorf("%s x%d: %w", b.FullName(), k.cell.Threads, err)
+		return Outcome{}, fmt.Errorf("%s x%d: %w", b.FullName(), k.threads, err)
 	}
 	stack := res.Stack(ts)
 	return Outcome{
 		Bench:     b,
-		Threads:   k.cell.Threads,
+		Threads:   k.threads,
 		Ts:        ts,
 		Tp:        res.Tp,
 		Actual:    stack.ActualSpeedup,
@@ -463,7 +506,7 @@ func (e *Engine) runCell(ctx context.Context, k cellKey, b workload.Benchmark) (
 // seqTime resolves the benchmark's single-threaded reference time under
 // cfg, with the same claim-or-wait discipline as cell.
 func (e *Engine) seqTime(ctx context.Context, cfg sim.Config, b workload.Benchmark) (uint64, error) {
-	k := seqKey{cfg: cfg.WithCores(1), bench: b.FullName()}
+	k := seqKey{cfg: cfg.WithCores(1), fp: b.Spec.Fingerprint()}
 	return claimOrWait(ctx, &e.mu, e.seq, k,
 		func() { e.stats.SeqHits++ },
 		func() (uint64, error) { return e.runSeq(ctx, cfg, b) })

@@ -5,21 +5,32 @@
 // Endpoints:
 //
 //	GET  /v1/stack?bench=NAME&threads=N[&cores=M][&format=json|csv|svg|text]
-//	POST /v1/sweep        {"cells":[{"bench":"...","threads":N,"cores":M}, ...]}
+//	POST /v1/sweep        {"cells":[{"bench":"...","threads":N,"cores":M},
+//	                                {"spec":{...workload spec...},"threads":N}, ...]}
+//	POST /v1/workloads/analyze   {"spec":{...},"threads":N[,"cores":M]}
+//	POST /v1/workloads/validate  {...workload spec...}  (dry run, no simulation)
 //	GET  /v1/benchmarks   registered benchmark analogues
 //	GET  /healthz         liveness probe
 //	GET  /metrics         request counts, cache traffic, in-flight sims
+//
+// Workloads are first-class: wherever a cell names a registered benchmark
+// ("bench") it can instead carry an inline workload spec ("spec", the JSON
+// form of workload.Spec). /v1/workloads/analyze measures one custom spec;
+// /v1/workloads/validate parses and validates a spec body and reports its
+// canonical form and fingerprint without simulating anything.
 //
 // Report formats are negotiated per request: an explicit ?format= wins,
 // then the Accept header (application/json, text/csv, image/svg+xml,
 // text/plain), then JSON.
 //
 // Caching and concurrency: results are cached in the engine's memo — an
-// LRU keyed by the full (machine configuration, benchmark, threads, cores)
-// identity, bounded by Options.CacheCells — and concurrent identical
-// requests collapse onto a single simulation (the engine's singleflight
-// protocol), so a thundering herd asking for the same stack costs one
-// simulation. Simulation parallelism across all requests is bounded by the
+// LRU keyed by the full (machine configuration, workload fingerprint,
+// threads, cores) identity, bounded by Options.CacheCells — and concurrent
+// identical requests collapse onto a single simulation (the engine's
+// singleflight protocol), so a thundering herd asking for the same stack
+// costs one simulation; an inline spec identical to a registered benchmark
+// (or to another request's spec, whatever its name) hits the same cache
+// entry. Simulation parallelism across all requests is bounded by the
 // engine's worker pool; requests beyond it queue on the pool rather than
 // piling onto the CPUs.
 package service
@@ -29,6 +40,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sort"
@@ -121,6 +133,8 @@ func New(opts Options) *Server {
 	}
 	s.route("/v1/stack", http.MethodGet, s.handleStack)
 	s.route("/v1/sweep", http.MethodPost, s.handleSweep)
+	s.route("/v1/workloads/analyze", http.MethodPost, s.handleAnalyze)
+	s.route("/v1/workloads/validate", http.MethodPost, s.handleValidate)
 	s.route("/v1/benchmarks", http.MethodGet, s.handleBenchmarks)
 	s.route("/healthz", http.MethodGet, s.handleHealthz)
 	s.route("/metrics", http.MethodGet, s.handleMetrics)
@@ -205,17 +219,25 @@ func parseCell(bench, threadsStr, coresStr string) (exp.Cell, error) {
 	return checkCell(exp.Cell{Bench: bench, Threads: threads, Cores: cores})
 }
 
-// checkCell validates a cell (shared by the query and body paths) and
+// checkCell validates a named cell (shared by the query and body paths) and
 // normalizes plain-name aliases ("cholesky") to canonical full names, so
-// response labels and cache keys are canonical. The 64-core ceiling is the
-// simulator's hard limit (sim.Config.Validate), which holds for every
-// machine configuration the service can be built with.
+// response labels are canonical. An unregistered name fails with
+// workload.ErrUnknownBenchmark (carrying the nearest-name suggestion),
+// which handleStack maps to HTTP 404.
 func checkCell(c exp.Cell) (exp.Cell, error) {
 	b, ok := workload.ByName(c.Bench)
 	if !ok {
-		return exp.Cell{}, fmt.Errorf("unknown benchmark %q (see /v1/benchmarks)", c.Bench)
+		return exp.Cell{}, workload.UnknownBenchmarkError(c.Bench)
 	}
 	c.Bench = b.FullName()
+	return checkCellBounds(c)
+}
+
+// checkCellBounds enforces the run-shape limits shared by named and inline
+// cells. The 64-core ceiling is the simulator's hard limit
+// (sim.Config.Validate), which holds for every machine configuration the
+// service can be built with.
+func checkCellBounds(c exp.Cell) (exp.Cell, error) {
 	if c.Threads < 1 || c.Threads > 256 {
 		return exp.Cell{}, fmt.Errorf("threads must be in [1,256], got %d", c.Threads)
 	}
@@ -228,6 +250,46 @@ func checkCell(c exp.Cell) (exp.Cell, error) {
 		return exp.Cell{}, fmt.Errorf("threads %d exceeds the simulator's 64-core limit; pass an explicit cores", c.Threads)
 	}
 	return c, nil
+}
+
+// cellRequest is one cell of a POST body: either a registered benchmark
+// named by bench, or an inline workload spec.
+type cellRequest struct {
+	Bench   string          `json:"bench,omitempty"`
+	Spec    json.RawMessage `json:"spec,omitempty"`
+	Threads int             `json:"threads"`
+	Cores   int             `json:"cores,omitempty"`
+}
+
+// decodeBody strictly decodes one JSON request body: size-capped, unknown
+// fields rejected, trailing data rejected — the same contract ParseSpec
+// applies to the spec object itself, so every front end agrees on what a
+// valid input is.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return errors.New("trailing data after the request object")
+	}
+	return nil
+}
+
+// buildCell resolves one body cell into an engine cell.
+func buildCell(c cellRequest) (exp.Cell, error) {
+	if len(c.Spec) > 0 {
+		if c.Bench != "" {
+			return exp.Cell{}, fmt.Errorf("give bench or spec, not both")
+		}
+		spec, err := workload.ParseSpec(c.Spec)
+		if err != nil {
+			return exp.Cell{}, err
+		}
+		return checkCellBounds(exp.Cell{Spec: &spec, Threads: c.Threads, Cores: c.Cores})
+	}
+	return checkCell(exp.Cell{Bench: c.Bench, Threads: c.Threads, Cores: c.Cores})
 }
 
 // simContext derives the context a request waits under.
@@ -296,7 +358,13 @@ func (s *Server) handleStack(w http.ResponseWriter, r *http.Request) {
 	}
 	cell, err := parseCell(q.Get("bench"), q.Get("threads"), q.Get("cores"))
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, "%v", err)
+		// A well-formed request for a benchmark that does not exist is a
+		// missing resource, not a malformed request.
+		code := http.StatusBadRequest
+		if errors.Is(err, workload.ErrUnknownBenchmark) {
+			code = http.StatusNotFound
+		}
+		s.httpError(w, code, "%v", err)
 		return
 	}
 	ctx, cancel := s.simContext(r)
@@ -311,11 +379,7 @@ func (s *Server) handleStack(w http.ResponseWriter, r *http.Request) {
 
 // sweepRequest is the POST /v1/sweep body.
 type sweepRequest struct {
-	Cells []struct {
-		Bench   string `json:"bench"`
-		Threads int    `json:"threads"`
-		Cores   int    `json:"cores"`
-	} `json:"cells"`
+	Cells []cellRequest `json:"cells"`
 }
 
 // handleSweep serves POST /v1/sweep: a batch of cells in one engine pass,
@@ -326,10 +390,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
 	var req sweepRequest
-	if err := dec.Decode(&req); err != nil {
+	if err := decodeBody(w, r, &req); err != nil {
 		s.httpError(w, http.StatusBadRequest, "bad body: %v", err)
 		return
 	}
@@ -344,7 +406,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	cells := make([]exp.Cell, len(req.Cells))
 	for i, c := range req.Cells {
-		cell, err := checkCell(exp.Cell{Bench: c.Bench, Threads: c.Threads, Cores: c.Cores})
+		cell, err := buildCell(c)
 		if err != nil {
 			s.httpError(w, http.StatusBadRequest, "cell %d: %v", i, err)
 			return
@@ -359,6 +421,83 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.respond(w, f, outs)
+}
+
+// handleAnalyze serves POST /v1/workloads/analyze: one inline custom
+// workload at a thread count, measured end-to-end. It is the
+// bring-your-own-benchmark twin of GET /v1/stack and shares its cache: the
+// engine keys on the spec's canonical fingerprint, so repeating a spec —
+// under any name, inline or registered — is a cache hit.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	f, err := stack.NegotiateFormat(r.URL.Query().Get("format"), r.Header.Get("Accept"), stack.FormatJSON)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var req cellRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if len(req.Spec) == 0 {
+		s.httpError(w, http.StatusBadRequest, "missing spec (POST {\"spec\":{...},\"threads\":N})")
+		return
+	}
+	if req.Bench != "" {
+		s.httpError(w, http.StatusBadRequest, "analyze takes a spec, not a bench name (use /v1/stack)")
+		return
+	}
+	cell, err := buildCell(req)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := s.simContext(r)
+	defer cancel()
+	outs, err := s.sweep(ctx, []exp.Cell{cell})
+	if err != nil {
+		s.simError(w, ctx, err)
+		return
+	}
+	s.respond(w, f, outs)
+}
+
+// validateResponse is the POST /v1/workloads/validate answer.
+type validateResponse struct {
+	Valid bool   `json:"valid"`
+	Error string `json:"error,omitempty"`
+	// Fingerprint is the canonical workload identity (the cache key) and
+	// Canonical the normalized spec it hashes; both only when valid.
+	Fingerprint string         `json:"fingerprint,omitempty"`
+	Name        string         `json:"name,omitempty"`
+	Canonical   *workload.Spec `json:"canonical,omitempty"`
+}
+
+// handleValidate serves POST /v1/workloads/validate: a dry run of the spec
+// pipeline. The body is the bare workload spec JSON (the same bytes the
+// speedup-stack CLI takes via -spec); nothing is simulated. A syntactically
+// readable but invalid spec answers 200 with valid=false and the actionable
+// validation error, so CI pipelines can lint spec files cheaply.
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	spec, err := workload.ParseSpec(data)
+	if err != nil {
+		enc.Encode(validateResponse{Valid: false, Error: err.Error()})
+		return
+	}
+	enc.Encode(validateResponse{
+		Valid:       true,
+		Fingerprint: spec.Fingerprint().String(),
+		Name:        workload.Benchmark{Spec: spec}.FullName(),
+		Canonical:   &spec,
+	})
 }
 
 // handleBenchmarks serves GET /v1/benchmarks.

@@ -104,7 +104,6 @@ func TestStackBadParams(t *testing.T) {
 		"/v1/stack?bench=" + testBench + "&threads=0",    // out of range
 		"/v1/stack?bench=" + testBench + "&threads=65",   // exceeds cores
 		"/v1/stack?bench=" + testBench + "&threads=2&cores=65",
-		"/v1/stack?bench=nosuch&threads=2",
 		"/v1/stack?bench=" + testBench + "&threads=2&format=bogus",
 	}
 	for _, target := range cases {
@@ -118,6 +117,27 @@ func TestStackBadParams(t *testing.T) {
 	// A failed request must not have cost a simulation.
 	if st := s.Engine().Stats(); st.CellRuns != 0 {
 		t.Errorf("bad params ran %d simulations", st.CellRuns)
+	}
+}
+
+// TestStackUnknownBenchmark404 pins the contract for a missing resource: a
+// well-formed request naming an unregistered benchmark is 404 (not 400),
+// and a near-miss name carries the nearest registered name.
+func TestStackUnknownBenchmark404(t *testing.T) {
+	s, _ := newTestServer(t)
+	w := get(t, s.Handler(), "/v1/stack?bench=nosuch&threads=2")
+	if w.Code != http.StatusNotFound {
+		t.Errorf("status %d, want 404 (%s)", w.Code, w.Body)
+	}
+	w = get(t, s.Handler(), "/v1/stack?bench=choleski&threads=2")
+	if w.Code != http.StatusNotFound {
+		t.Errorf("typo'd name: status %d, want 404", w.Code)
+	}
+	if body := w.Body.String(); !strings.Contains(body, `did you mean \"cholesky\"?`) {
+		t.Errorf("no nearest-name suggestion in %q", body)
+	}
+	if st := s.Engine().Stats(); st.CellRuns != 0 {
+		t.Errorf("404s ran %d simulations", st.CellRuns)
 	}
 }
 
@@ -258,6 +278,147 @@ func TestBenchmarksAndHealthz(t *testing.T) {
 	}
 	if w := get(t, s.Handler(), "/healthz"); w.Code != 200 || w.Body.String() != "ok\n" {
 		t.Errorf("healthz: %d %q", w.Code, w.Body.String())
+	}
+}
+
+// testSpecJSON is a custom workload the registry has never seen, cheap
+// enough for handler tests.
+const testSpecJSON = `{"name":"svc-kernel","kind":"data_parallel",
+	"array_bytes":524288,"sweeps_per_phase":1,"phases":1,
+	"instr_per_access":2500,"store_frac":0.1,"seed":99}`
+
+func post(t *testing.T, h http.Handler, target, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, target, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestAnalyzeEndpoint(t *testing.T) {
+	s, sims := newTestServer(t)
+	body := `{"spec":` + testSpecJSON + `,"threads":2}`
+	w := post(t, s.Handler(), "/v1/workloads/analyze", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var rows []stack.ReportRow
+	if err := json.Unmarshal(w.Body.Bytes(), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Benchmark != "svc-kernel" || rows[0].Threads != 2 {
+		t.Fatalf("unexpected rows: %+v", rows)
+	}
+	if rows[0].Actual <= 0 || rows[0].Estimated <= 0 {
+		t.Errorf("stack not populated: %+v", rows[0])
+	}
+
+	// The same behavioural spec under another name is a cache hit: the
+	// fingerprint, not the name, keys the memo.
+	renamed := strings.Replace(body, "svc-kernel", "other-name", 1)
+	w = post(t, s.Handler(), "/v1/workloads/analyze", renamed)
+	if w.Code != http.StatusOK {
+		t.Fatalf("renamed spec: status %d: %s", w.Code, w.Body)
+	}
+	if got := atomic.LoadInt32(sims); got != 1 {
+		t.Errorf("fingerprint-identical specs ran %d simulations, want 1", got)
+	}
+	if !strings.Contains(w.Body.String(), `"other-name"`) {
+		t.Errorf("cached result not relabeled: %s", w.Body)
+	}
+}
+
+func TestAnalyzeBadRequests(t *testing.T) {
+	s, _ := newTestServer(t)
+	for name, body := range map[string]string{
+		"empty":         ``,
+		"no spec":       `{"threads":2}`,
+		"bench instead": `{"bench":"cholesky","threads":2}`,
+		"both":          `{"bench":"cholesky","spec":` + testSpecJSON + `,"threads":2}`,
+		"bad spec":      `{"spec":{"name":"x","kind":"data_parallel"},"threads":2}`,
+		"bad threads":   `{"spec":` + testSpecJSON + `,"threads":0}`,
+		"unknown knob":  `{"spec":{"name":"x","kind":"data_parallel","array_byts":64},"threads":2}`,
+		"trailing data": `{"spec":` + testSpecJSON + `,"threads":2}{"threads":8}`,
+		"kind omitted":  `{"spec":{"name":"x","array_bytes":524288,"sweeps_per_phase":1,"phases":1},"threads":2}`,
+	} {
+		if w := post(t, s.Handler(), "/v1/workloads/analyze", body); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, w.Code, w.Body)
+		}
+	}
+	if st := s.Engine().Stats(); st.CellRuns != 0 {
+		t.Errorf("bad requests ran %d simulations", st.CellRuns)
+	}
+}
+
+func TestValidateEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	w := post(t, s.Handler(), "/v1/workloads/validate", testSpecJSON)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Valid       bool            `json:"valid"`
+		Error       string          `json:"error"`
+		Fingerprint string          `json:"fingerprint"`
+		Name        string          `json:"name"`
+		Canonical   json.RawMessage `json:"canonical"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Valid || resp.Name != "svc-kernel" || len(resp.Fingerprint) != 64 || len(resp.Canonical) == 0 {
+		t.Errorf("unexpected response: %+v", resp)
+	}
+
+	// An invalid spec is a clean valid=false with the actionable error.
+	w = post(t, s.Handler(), "/v1/workloads/validate", `{"name":"x","kind":"data_parallel"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("invalid spec: status %d", w.Code)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Valid || !strings.Contains(resp.Error, "array_bytes") {
+		t.Errorf("unexpected response: %+v", resp)
+	}
+	// Validation never simulates.
+	if st := s.Engine().Stats(); st.CellRuns != 0 || st.SeqRuns != 0 {
+		t.Errorf("validate ran simulations: %+v", st)
+	}
+}
+
+func TestSweepInlineSpecCells(t *testing.T) {
+	s, sims := newTestServer(t)
+	// A named registry cell plus an inline spec: both simulate, labels stay
+	// per-cell, and repeating the batch is a pure cache hit.
+	body := `{"cells":[
+		{"bench":"` + testBench + `","threads":2},
+		{"spec":` + testSpecJSON + `,"threads":2}]}`
+	w := post(t, s.Handler(), "/v1/sweep", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var rows []stack.ReportRow
+	if err := json.Unmarshal(w.Body.Bytes(), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Benchmark != testBench || rows[1].Benchmark != "svc-kernel" {
+		t.Fatalf("unexpected rows: %+v", rows)
+	}
+	if got := atomic.LoadInt32(sims); got != 2 {
+		t.Errorf("mixed batch ran %d simulations, want 2", got)
+	}
+	if w := post(t, s.Handler(), "/v1/sweep", body); w.Code != http.StatusOK {
+		t.Fatalf("repeat batch: status %d", w.Code)
+	}
+	if got := atomic.LoadInt32(sims); got != 2 {
+		t.Errorf("repeat batch re-simulated (%d runs)", got)
+	}
+
+	// A cell carrying both identities is rejected.
+	both := `{"cells":[{"bench":"` + testBench + `","spec":` + testSpecJSON + `,"threads":2}]}`
+	if w := post(t, s.Handler(), "/v1/sweep", both); w.Code != http.StatusBadRequest {
+		t.Errorf("bench+spec cell: status %d, want 400", w.Code)
 	}
 }
 

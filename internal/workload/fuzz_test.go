@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzSpecJSON is the robustness contract of the bring-your-own-benchmark
+// input path: for ANY byte string, ParseSpec either fails cleanly or
+// returns a canonical spec that (a) marshals and re-parses to an identical
+// spec, (b) keeps a stable fingerprint across the round trip, and (c) is
+// idempotent under canonicalization. No input may panic — this is the same
+// code path the speedupd service exposes to the network.
+func FuzzSpecJSON(f *testing.F) {
+	for _, b := range All() {
+		if data, err := json.Marshal(b.Spec); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"name":"t","kind":"task_queue","items":3,"item_instr":9,"shared_frac":0.5,"shared_bytes":64}`))
+	f.Add([]byte(`{"name":"p","kind":"pipeline","items":2,"array_bytes":64,"stages":[{"weight":1},{"weight":2,"serial":true}]}`))
+	f.Add([]byte(`{"name":"x","kind":"data_parallel","array_bytes":1e6,"sweeps_per_phase":1,"phases":1}`))
+	f.Add([]byte(`{"kind":"bogus"}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return // clean rejection is fine; panics are not
+		}
+		if got := s.Canonical(); !reflect.DeepEqual(got, s) {
+			t.Fatalf("ParseSpec output not canonical:\n%+v\n%+v", s, got)
+		}
+		fp := s.Fingerprint()
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		s2, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("marshalled spec does not re-parse: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip changed the spec:\n%+v\n%+v", s, s2)
+		}
+		if s2.Fingerprint() != fp {
+			t.Fatal("round trip changed the fingerprint")
+		}
+		// A parsed spec must be runnable: program construction (not full
+		// simulation) must succeed without panicking.
+		if _, err := s.Sequential(); err != nil {
+			t.Fatalf("valid spec rejected by Sequential: %v", err)
+		}
+		if _, err := s.Parallel(3); err != nil {
+			t.Fatalf("valid spec rejected by Parallel: %v", err)
+		}
+	})
+}

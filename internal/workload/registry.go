@@ -368,8 +368,12 @@ func Names() []string {
 	return names
 }
 
-// FullName returns "name_suite", disambiguating the input classes.
+// FullName returns "name_suite", disambiguating the input classes. Custom
+// specs without a suite are identified by name alone.
 func (b Benchmark) FullName() string {
+	if b.Spec.Suite == "" {
+		return b.Spec.Name
+	}
 	return fmt.Sprintf("%s_%s", b.Spec.Name, b.Spec.Suite)
 }
 

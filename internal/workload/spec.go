@@ -49,84 +49,89 @@ const (
 // StageSpec describes one pipeline stage.
 type StageSpec struct {
 	// Weight is the stage's share of per-item work (weights are normalized).
-	Weight float64
+	Weight float64 `json:"weight"`
 	// Serial pins the stage to exactly one thread (ferret's input/output).
-	Serial bool
+	Serial bool `json:"serial,omitempty"`
 }
 
-// Spec is the behavioural description of one benchmark analogue.
+// Spec is the behavioural description of one benchmark analogue. It is also
+// the serializable bring-your-own-benchmark input: the JSON form produced by
+// encoding/json (snake_case keys, kind as a string) is what ParseSpec reads,
+// what the speedup-stack CLI accepts via -spec, and what the speedupd
+// service accepts inline.
 type Spec struct {
 	// Name and Suite identify the benchmark (suite naming follows the
-	// paper: splash2, parsec_small, parsec_medium, rodinia).
-	Name  string
-	Suite string
-	Kind  Kind
+	// paper: splash2, parsec_small, parsec_medium, rodinia). Custom specs
+	// may leave Suite empty.
+	Name  string `json:"name"`
+	Suite string `json:"suite,omitempty"`
+	Kind  Kind   `json:"kind"`
 
 	// --- Work volume -----------------------------------------------------
 
 	// ArrayBytes is the total private-data footprint, partitioned among
 	// threads (each thread sweeps its slice). For pipelines it is the
 	// per-item data region footprint.
-	ArrayBytes int64
+	ArrayBytes int64 `json:"array_bytes,omitempty"`
 	// SweepsPerPhase is how many times a thread walks its slice per phase;
 	// values above 1 create temporal reuse, which turns shared-LLC
 	// thrashing into negative interference (the private ATD would hit).
-	SweepsPerPhase int
+	SweepsPerPhase int `json:"sweeps_per_phase,omitempty"`
 	// Phases is the number of barrier-separated phases.
-	Phases int
+	Phases int `json:"phases,omitempty"`
 	// InstrPerAccess is the computation between memory accesses, the
 	// memory-intensity knob.
-	InstrPerAccess int
+	InstrPerAccess int `json:"instr_per_access,omitempty"`
 
 	// --- Memory behaviour -------------------------------------------------
 
 	// StoreFrac is the fraction of private accesses that are stores.
-	StoreFrac float64
+	StoreFrac float64 `json:"store_frac,omitempty"`
 	// SharedBytes sizes the read-mostly shared region.
-	SharedBytes int64
+	SharedBytes int64 `json:"shared_bytes,omitempty"`
 	// SharedFrac is the fraction of accesses that target the shared region;
 	// cross-thread reuse there produces positive interference.
-	SharedFrac float64
+	SharedFrac float64 `json:"shared_frac,omitempty"`
 	// SharedStoreFrac is the fraction of shared accesses that are stores;
 	// they trigger invalidations and coherence misses.
-	SharedStoreFrac float64
+	SharedStoreFrac float64 `json:"shared_store_frac,omitempty"`
 	// RandomPrivate/RandomShared choose random addressing instead of
 	// streaming within the respective regions.
-	RandomPrivate bool
-	RandomShared  bool
+	RandomPrivate bool `json:"random_private,omitempty"`
+	RandomShared  bool `json:"random_shared,omitempty"`
 
 	// --- Parallel structure ------------------------------------------------
 
 	// EffectiveParallelism caps the useful thread count: work shares are
 	// skewed so that speedup saturates near this value, producing the
 	// yield-dominated profiles of Figure 6. Zero means perfectly balanced.
-	EffectiveParallelism float64
+	EffectiveParallelism float64 `json:"effective_parallelism,omitempty"`
 	// CSPerThreadPerPhase critical sections per thread and phase.
-	CSPerThreadPerPhase int
+	CSPerThreadPerPhase int `json:"cs_per_thread_per_phase,omitempty"`
 	// CSInstr is the computation inside a critical section (work that also
 	// exists in the sequential version).
-	CSInstr int
+	CSInstr int `json:"cs_instr,omitempty"`
 	// NumLocks is the lock granularity (1 = one global lock).
-	NumLocks int
+	NumLocks int `json:"num_locks,omitempty"`
 
 	// --- Task-queue family -------------------------------------------------
 
 	// Items is the total number of task items (task-queue and pipeline).
-	Items int
+	Items int `json:"items,omitempty"`
 	// ItemInstr is the computation per item.
-	ItemInstr int
+	ItemInstr int `json:"item_instr,omitempty"`
 	// ItemAccesses is the number of memory accesses per item.
-	ItemAccesses int
+	ItemAccesses int `json:"item_accesses,omitempty"`
 	// DispatchInstr is the serial work under the dispatch lock per item
 	// (parallelization overhead: it does not exist sequentially).
-	DispatchInstr int
+	DispatchInstr int `json:"dispatch_instr,omitempty"`
 
 	// --- Pipeline family ---------------------------------------------------
 
 	// Stages describes the pipeline stages.
-	Stages []StageSpec
+	Stages []StageSpec `json:"stages,omitempty"`
 	// QueueCap is the bounded-queue capacity between stages.
-	QueueCap int
+	QueueCap int `json:"queue_cap,omitempty"`
 
 	// --- Overheads and library behaviour ------------------------------------
 
@@ -136,36 +141,171 @@ type Spec struct {
 	// (communication and recomputation grow with parallelism). The
 	// accounting hardware cannot see it; it surfaces as estimation error,
 	// exactly as in the paper's Section 6 discussion.
-	OverheadFrac float64
+	OverheadFrac float64 `json:"overhead_frac,omitempty"`
 	// LockGrace/BarrierGrace override the sync library's spin-then-yield
 	// thresholds (cycles); zero keeps the machine default. SPLASH-2-style
 	// pure spinning uses a very large LockGrace.
-	LockGrace    uint64
-	BarrierGrace uint64
+	LockGrace    uint64 `json:"lock_grace,omitempty"`
+	BarrierGrace uint64 `json:"barrier_grace,omitempty"`
 
 	// Seed is the base RNG seed; every derived generator seeds from it.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 }
 
-// Validate performs basic consistency checks.
+// Validation bounds. They are generous (every registry analogue sits far
+// inside them) but keep a parsed spec inside what the simulator and the
+// generators handle: no division by zero, no overflowing uint32 op fields,
+// no effectively-unbounded simulations from a single HTTP request.
+const (
+	maxDataBytes  = 4 << 30 // ArrayBytes, SharedBytes
+	maxCount      = 1 << 20 // Phases, SweepsPerPhase, ItemAccesses, QueueCap, CSPerThreadPerPhase
+	maxInstr      = 1 << 30 // per-op instruction fields (must fit uint32 bursts)
+	maxItems      = 1 << 26 // task/pipeline items
+	maxLocks      = 1 << 16 // NumLocks
+	maxStages     = 64      // pipeline stages
+	maxEffPar     = 4096    // EffectiveParallelism
+	minEffPar     = 0.1     // smallest non-zero EffectiveParallelism
+	maxStageWT    = 1e6     // single stage weight
+	maxGraceValue = 1 << 62 // Lock/BarrierGrace (cycles)
+)
+
+// Validate checks the spec for consistency. Errors name the offending field
+// and the accepted range, so a rejected bring-your-own-benchmark spec tells
+// its author exactly what to fix.
 func (s Spec) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("workload %q: %s", s.Name, fmt.Sprintf(format, args...))
+	}
+	if s.Name == "" {
+		return fmt.Errorf("workload spec: name is required (it labels reports and logs)")
+	}
 	switch s.Kind {
 	case KindDataParallel:
-		if s.ArrayBytes <= 0 || s.SweepsPerPhase <= 0 || s.Phases <= 0 {
-			return fmt.Errorf("workload %s: data-parallel needs array/sweeps/phases", s.Name)
+		if s.ArrayBytes < lineBytes {
+			return fail("data-parallel needs array_bytes >= %d (one cache line), got %d", lineBytes, s.ArrayBytes)
+		}
+		if s.SweepsPerPhase <= 0 || s.Phases <= 0 {
+			return fail("data-parallel needs sweeps_per_phase >= 1 and phases >= 1, got %d and %d",
+				s.SweepsPerPhase, s.Phases)
+		}
+		if s.SweepsPerPhase > maxCount || s.Phases > maxCount {
+			return fail("sweeps_per_phase and phases must be <= %d", maxCount)
 		}
 	case KindTaskQueue:
 		if s.Items <= 0 || s.ItemInstr <= 0 {
-			return fmt.Errorf("workload %s: task-queue needs items and item work", s.Name)
+			return fail("task-queue needs items >= 1 and item_instr >= 1, got %d and %d", s.Items, s.ItemInstr)
 		}
 	case KindPipeline:
-		if s.Items <= 0 || len(s.Stages) < 2 {
-			return fmt.Errorf("workload %s: pipeline needs items and >=2 stages", s.Name)
+		if s.Items <= 0 {
+			return fail("pipeline needs items >= 1, got %d", s.Items)
+		}
+		if len(s.Stages) < 2 {
+			return fail("pipeline needs >= 2 stages, got %d", len(s.Stages))
+		}
+		if len(s.Stages) > maxStages {
+			return fail("pipeline supports at most %d stages, got %d", maxStages, len(s.Stages))
+		}
+		for i, st := range s.Stages {
+			if !(st.Weight > 0) || st.Weight > maxStageWT { // !(>0) also catches NaN
+				return fail("stage %d weight must be in (0, %g], got %v", i, float64(maxStageWT), st.Weight)
+			}
 		}
 	default:
-		return fmt.Errorf("workload %s: unknown kind %d", s.Name, s.Kind)
+		return fail("unknown kind %d (want data_parallel, task_queue or pipeline)", s.Kind)
+	}
+
+	// Bounds shared by every family.
+	if s.ArrayBytes < 0 || s.ArrayBytes > maxDataBytes {
+		return fail("array_bytes must be in [0, %d], got %d", int64(maxDataBytes), s.ArrayBytes)
+	}
+	if s.SharedBytes < 0 || s.SharedBytes > maxDataBytes {
+		return fail("shared_bytes must be in [0, %d], got %d", int64(maxDataBytes), s.SharedBytes)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"store_frac", s.StoreFrac},
+		{"shared_frac", s.SharedFrac},
+		{"shared_store_frac", s.SharedStoreFrac},
+		{"overhead_frac", s.OverheadFrac},
+	} {
+		if !(f.v >= 0 && f.v <= 1) { // negated form also catches NaN
+			return fail("%s must be a fraction in [0, 1], got %v", f.name, f.v)
+		}
+	}
+	if s.SharedFrac > 0 && s.SharedBytes < lineBytes {
+		return fail("shared_frac %v needs shared_bytes >= %d (one cache line), got %d",
+			s.SharedFrac, lineBytes, s.SharedBytes)
+	}
+	if e := s.EffectiveParallelism; !(e == 0 || (e >= minEffPar && e <= maxEffPar)) {
+		return fail("effective_parallelism must be 0 (balanced) or in [%g, %g], got %v",
+			minEffPar, float64(maxEffPar), e)
+	}
+	for _, n := range []struct {
+		name string
+		v    int
+		max  int
+	}{
+		{"instr_per_access", s.InstrPerAccess, maxInstr},
+		{"cs_instr", s.CSInstr, maxInstr},
+		{"item_instr", s.ItemInstr, maxInstr},
+		{"dispatch_instr", s.DispatchInstr, maxInstr},
+		{"cs_per_thread_per_phase", s.CSPerThreadPerPhase, maxCount},
+		{"num_locks", s.NumLocks, maxLocks},
+		{"items", s.Items, maxItems},
+		{"item_accesses", s.ItemAccesses, maxCount},
+		{"queue_cap", s.QueueCap, maxCount},
+	} {
+		if n.v < 0 || n.v > n.max {
+			return fail("%s must be in [0, %d], got %d", n.name, n.max, n.v)
+		}
+	}
+	if s.LockGrace > maxGraceValue || s.BarrierGrace > maxGraceValue {
+		return fail("lock_grace and barrier_grace must be <= %d cycles", uint64(maxGraceValue))
 	}
 	return nil
+}
+
+// Canonical returns the spec with every field the Kind's generators do not
+// read zeroed. Program generation is invariant under canonicalization — the
+// canonical spec produces bit-identical op streams at every thread count —
+// so it is the right input for Fingerprint: two specs that differ only in
+// inert fields describe the same workload and hash identically.
+func (s Spec) Canonical() Spec {
+	c := s
+	if c.SharedFrac == 0 {
+		// No shared accesses: the shared-region shape is inert.
+		c.SharedBytes, c.SharedStoreFrac, c.RandomShared = 0, 0, false
+	}
+	if c.NumLocks == 1 {
+		// One lock and "unset" route every critical section to the same lock.
+		c.NumLocks = 0
+	}
+	switch c.Kind {
+	case KindDataParallel:
+		c.Items, c.ItemInstr, c.ItemAccesses, c.DispatchInstr = 0, 0, 0, 0
+		c.Stages, c.QueueCap = nil, 0
+		if c.CSPerThreadPerPhase == 0 || c.CSInstr == 0 {
+			// Critical sections fire only when both knobs are set.
+			c.CSPerThreadPerPhase, c.CSInstr, c.NumLocks = 0, 0, 0
+		}
+	case KindTaskQueue:
+		c.SweepsPerPhase, c.Phases, c.InstrPerAccess = 0, 0, 0
+		c.RandomPrivate, c.RandomShared = false, false // addressing is fixed per family
+		c.CSPerThreadPerPhase = 0
+		c.Stages, c.QueueCap = nil, 0
+		if c.CSInstr == 0 {
+			c.NumLocks = 0
+		}
+	case KindPipeline:
+		c.SweepsPerPhase, c.Phases, c.InstrPerAccess = 0, 0, 0
+		c.RandomPrivate, c.RandomShared = false, false
+		c.SharedStoreFrac = 0 // pipeline shared accesses use StoreFrac
+		c.EffectiveParallelism = 0
+		c.CSPerThreadPerPhase, c.CSInstr, c.NumLocks, c.DispatchInstr = 0, 0, 0, 0
+	}
+	return c
 }
 
 // overheadAt returns the effective overhead fraction for a run with the

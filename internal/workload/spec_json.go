@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON workload specs: the serialization layer that makes Spec a first-class
+// bring-your-own-benchmark input. ParseSpec is the single entry point every
+// layer uses — the speedup-stack CLI (-spec), the experiments CLI (custom
+// -spec), the speedupd service (inline sweep cells, /v1/workloads/*) and the
+// public speedupstack.ParseWorkload helper — so a spec file means exactly
+// one thing everywhere. Identity is Fingerprint: a stable hash of the
+// canonical spec that the sweep engine keys its memo by, making two
+// identical specs (whatever their names) one simulation.
+
+// kindNames is the JSON vocabulary for Kind, indexed by value.
+var kindNames = [...]string{
+	KindDataParallel: "data_parallel",
+	KindTaskQueue:    "task_queue",
+	KindPipeline:     "pipeline",
+}
+
+// String names the kind ("data_parallel", "task_queue", "pipeline").
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalText encodes the kind as its JSON name.
+func (k Kind) MarshalText() ([]byte, error) {
+	if int(k) >= len(kindNames) {
+		return nil, fmt.Errorf("workload: cannot encode unknown kind %d", uint8(k))
+	}
+	return []byte(kindNames[k]), nil
+}
+
+// UnmarshalText decodes a kind name, rejecting anything outside the
+// vocabulary with the full list of accepted names.
+func (k *Kind) UnmarshalText(text []byte) error {
+	for v, name := range kindNames {
+		if string(text) == name {
+			*k = Kind(v)
+			return nil
+		}
+	}
+	return fmt.Errorf("workload: unknown kind %q (want %q, %q or %q)",
+		text, kindNames[0], kindNames[1], kindNames[2])
+}
+
+// ParseSpec decodes, validates and canonicalizes one JSON workload spec.
+// Decoding is strict: unknown fields and trailing data are errors, so a
+// typo'd knob fails loudly instead of silently meaning "default". The
+// returned spec is canonical (ParseSpec ∘ Marshal is the identity on its
+// output) and safe to hand to the generators and the sweep engine.
+func ParseSpec(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("workload spec: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return Spec{}, fmt.Errorf("workload spec: trailing data after the spec object")
+	}
+	// Kind's zero value is a valid family (data_parallel), so the decoder
+	// cannot tell "omitted" from "explicit": probe the raw object so a
+	// forgotten kind fails loudly instead of silently meaning data_parallel
+	// (and then blaming fields the author never set).
+	var probe struct {
+		Kind json.RawMessage `json:"kind"`
+	}
+	// A JSON null leaves the Kind field untouched just like omission does.
+	if err := json.Unmarshal(data, &probe); err == nil &&
+		(len(probe.Kind) == 0 || string(probe.Kind) == "null") {
+		return Spec{}, fmt.Errorf("workload spec: missing kind (want %q, %q or %q)",
+			kindNames[0], kindNames[1], kindNames[2])
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s.Canonical(), nil
+}
+
+// Fingerprint is the canonical identity of a workload: equal fingerprints
+// mean behaviourally identical specs (identical op streams at every thread
+// count), whatever they are named. It is comparable and so usable as a map
+// key; the sweep engine's memo and the speedupd cache key on it.
+type Fingerprint [sha256.Size]byte
+
+// String returns the fingerprint as lowercase hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Short returns the first 12 hex digits, for labels and log lines.
+func (f Fingerprint) Short() string { return f.String()[:12] }
+
+// fingerprintVersion salts the hash so any future change to the canonical
+// encoding invalidates persisted fingerprints instead of silently colliding.
+const fingerprintVersion = "speedupstack-spec-v1:"
+
+// Fingerprint returns the stable hash of the canonical spec, excluding Name
+// and Suite: naming labels a workload, it does not change what runs.
+func (s Spec) Fingerprint() Fingerprint {
+	c := s.Canonical()
+	c.Name, c.Suite = "", ""
+	// encoding/json emits struct fields in declaration order and shortest
+	// round-trip float forms, so the encoding is deterministic.
+	payload, err := json.Marshal(c)
+	if err != nil {
+		// Spec marshalling can only fail on an unencodable Kind; validated
+		// specs never hit this, and an unvalidated one gets a distinct
+		// "invalid" fingerprint rather than a panic.
+		payload = []byte("invalid:" + err.Error())
+	}
+	h := sha256.New()
+	io.WriteString(h, fingerprintVersion)
+	h.Write(payload)
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrUnknownBenchmark tags lookup failures for a name that is not in the
+// registry. Callers branch on it with errors.Is — the speedupd service maps
+// it to HTTP 404 — while the message (built by UnknownBenchmarkError)
+// carries the nearest-name suggestion shared by every front end.
+var ErrUnknownBenchmark = errors.New("unknown benchmark")
+
+// UnknownBenchmarkError builds the user-facing error for a failed lookup,
+// including the closest registered name when one is plausibly intended.
+// The CLI and the HTTP service both surface this exact message.
+func UnknownBenchmarkError(name string) error {
+	if s := Suggest(name); s != "" {
+		return fmt.Errorf("%w %q (did you mean %q?)", ErrUnknownBenchmark, name, s)
+	}
+	return fmt.Errorf("%w %q (not one of the %d registered analogues)", ErrUnknownBenchmark, name, len(registry))
+}
+
+// Suggest returns the registered benchmark name (FullName or plain name)
+// closest to name by edit distance, or "" when nothing is close enough to
+// be a plausible typo (distance greater than 2 or a third of the input).
+func Suggest(name string) string {
+	in := strings.ToLower(name)
+	limit := max(2, len(in)/3)
+	best, bestDist := "", limit+1
+	for _, b := range registry {
+		for _, cand := range []string{b.FullName(), b.Spec.Name} {
+			if d := editDistance(in, strings.ToLower(cand)); d < bestDist {
+				best, bestDist = cand, d
+			}
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b, two rows at a
+// time. The inputs are short benchmark names, so O(len(a)*len(b)) is fine.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

@@ -25,14 +25,17 @@
 //	results, err := speedupstack.MeasureAll(
 //		speedupstack.Benchmarks(), []int{2, 4, 8, 16})
 //
-// For custom workloads, build a workload.Spec (or implement trace.Program
-// directly) and drive exp.Runner / sim.Run; the internal packages are the
-// real surface, this package is the convenience layer.
+// Custom workloads are first-class: build a Workload (or parse one from
+// JSON with ParseWorkload) and measure it with MeasureSpec/MeasureSpecAll —
+// it flows through the same engine, dedup and caching as the registered
+// analogues, keyed by the spec's canonical fingerprint:
+//
+//	w, err := speedupstack.ParseWorkload(jsonBytes)
+//	st, err := speedupstack.MeasureSpec(w, 16)
 package speedupstack
 
 import (
 	"context"
-	"fmt"
 	"io"
 	"runtime"
 
@@ -60,6 +63,40 @@ type Result struct {
 // Benchmarks lists the registered benchmark analogues (name_suite form).
 func Benchmarks() []string { return workload.Names() }
 
+// Workload is a behavioural workload description — the serializable
+// bring-your-own-benchmark input. Construct one in Go or parse it from JSON
+// with ParseWorkload; its methods carry the contract: Validate (actionable
+// consistency checks), Canonical (inert fields zeroed) and Fingerprint (the
+// stable, name-independent identity every cache layer keys on).
+type Workload = workload.Spec
+
+// WorkloadStage describes one pipeline stage of a Workload.
+type WorkloadStage = workload.StageSpec
+
+// WorkloadKind selects a Workload's structural family.
+type WorkloadKind = workload.Kind
+
+// The workload families: barrier-phased data-parallel, lock-dispensed
+// task-queue, and queue-connected pipeline.
+const (
+	WorkloadDataParallel = workload.KindDataParallel
+	WorkloadTaskQueue    = workload.KindTaskQueue
+	WorkloadPipeline     = workload.KindPipeline
+)
+
+// WorkloadFingerprint is the canonical identity of a Workload: equal
+// fingerprints mean behaviourally identical workloads, whatever their names.
+type WorkloadFingerprint = workload.Fingerprint
+
+// ParseWorkload decodes, validates and canonicalizes a JSON workload spec —
+// the same format the speedup-stack CLI accepts via -spec and the speedupd
+// service accepts inline. Unknown fields are errors.
+func ParseWorkload(data []byte) (Workload, error) { return workload.ParseSpec(data) }
+
+// ValidateWorkload checks a workload for consistency without running
+// anything; the error names the offending field and the accepted range.
+func ValidateWorkload(w Workload) error { return w.Validate() }
+
 // Measure runs the named benchmark analogue with the given thread count on
 // the paper's default 16-core-class machine (threads = cores), plus its
 // single-threaded reference, and returns the speedup stack with the actual
@@ -67,7 +104,7 @@ func Benchmarks() []string { return workload.Names() }
 func Measure(benchmark string, threads int) (Result, error) {
 	b, ok := workload.ByName(benchmark)
 	if !ok {
-		return Result{}, fmt.Errorf("speedupstack: unknown benchmark %q (see Benchmarks())", benchmark)
+		return Result{}, workload.UnknownBenchmarkError(benchmark)
 	}
 	r := exp.NewRunner(sim.Default())
 	out, err := r.Run(b, threads)
@@ -75,6 +112,40 @@ func Measure(benchmark string, threads int) (Result, error) {
 		return Result{}, err
 	}
 	return Result{Benchmark: b.FullName(), Threads: threads, Stack: out.Stack}, nil
+}
+
+// MeasureSpec is Measure for a custom workload: it runs w (which need not —
+// and usually does not — exist in the registry) with the given thread count
+// on the default machine and returns its speedup stack. A spec identical to
+// a registered analogue produces the identical stack, and through MeasureAll
+// and the speedupd service would share the identical cached simulation.
+func MeasureSpec(w Workload, threads int) (Result, error) {
+	r := exp.NewRunner(sim.Default())
+	out, err := r.Run(workload.Benchmark{Spec: w}, threads)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Benchmark: out.Bench.FullName(), Threads: threads, Stack: out.Stack}, nil
+}
+
+// MeasureSpecAll measures every (workload, thread-count) combination of the
+// cross product, exactly like MeasureAll does for registered benchmarks:
+// one engine, shared sequential references, fingerprint-keyed dedup (two
+// identical specs under different names cost one simulation), results in
+// declared order.
+func MeasureSpecAll(ws []Workload, threads []int) ([]Result, error) {
+	return MeasureSpecAllContext(context.Background(), ws, threads)
+}
+
+// MeasureSpecAllContext is MeasureSpecAll with cancellation.
+func MeasureSpecAllContext(ctx context.Context, ws []Workload, threads []int) ([]Result, error) {
+	cells := make([]exp.Cell, 0, len(ws)*len(threads))
+	for i := range ws {
+		for _, n := range threads {
+			cells = append(cells, exp.Cell{Spec: &ws[i], Threads: n})
+		}
+	}
+	return measureCells(ctx, cells)
 }
 
 // MeasureAll measures every (benchmark, thread-count) combination of the
@@ -95,6 +166,12 @@ func MeasureAllContext(ctx context.Context, benchmarks []string, threads []int) 
 			cells = append(cells, exp.Cell{Bench: b, Threads: n})
 		}
 	}
+	return measureCells(ctx, cells)
+}
+
+// measureCells sweeps the cells on a fresh all-CPU engine against the
+// default machine — the shared back end of MeasureAll and MeasureSpecAll.
+func measureCells(ctx context.Context, cells []exp.Cell) ([]Result, error) {
 	e := exp.NewEngine(sim.Default(), exp.WithWorkers(runtime.NumCPU()))
 	outs, err := e.Sweep(ctx, cells)
 	if err != nil {

@@ -16,6 +16,62 @@ func TestMeasureUnknownBenchmark(t *testing.T) {
 	if _, err := Measure("no-such-benchmark", 4); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
+	// Near-miss names carry the nearest registered name, so the CLI (which
+	// prints this error verbatim) suggests the fix.
+	_, err := Measure("choleski", 4)
+	if err == nil || !strings.Contains(err.Error(), `did you mean "cholesky"?`) {
+		t.Fatalf("no suggestion in %v", err)
+	}
+}
+
+// specJSON is a custom workload the registry has never seen.
+const specJSON = `{"name":"roottest","kind":"data_parallel","array_bytes":524288,
+	"sweeps_per_phase":1,"phases":1,"instr_per_access":2500,"store_frac":0.1,"seed":5}`
+
+func TestParseWorkloadAndMeasureSpec(t *testing.T) {
+	w, err := ParseWorkload([]byte(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateWorkload(w); err != nil {
+		t.Fatal(err)
+	}
+	res, err := MeasureSpec(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "roottest" || res.Threads != 4 {
+		t.Fatalf("unexpected result identity: %+v", res)
+	}
+	if res.Stack.ActualSpeedup <= 1 {
+		t.Fatalf("implausible speedup %v", res.Stack.ActualSpeedup)
+	}
+
+	// MeasureSpecAll: two names, one behaviour -> same stacks, own labels.
+	w2 := w
+	w2.Name = "roottest-twin"
+	results, err := MeasureSpecAll([]Workload{w, w2}, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Benchmark != "roottest" || results[1].Benchmark != "roottest-twin" {
+		t.Fatalf("unexpected results: %+v", results)
+	}
+	if results[0].Stack != results[1].Stack {
+		t.Fatal("fingerprint-identical workloads measured differently")
+	}
+	if results[0].Stack != res.Stack {
+		t.Fatal("MeasureSpecAll disagrees with MeasureSpec")
+	}
+}
+
+func TestParseWorkloadRejects(t *testing.T) {
+	if _, err := ParseWorkload([]byte(`{"name":"x","kind":"data_parallel"}`)); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+	if _, err := ParseWorkload([]byte(`{"name":"x","kind":"data_parallel","array_byts":64}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
 }
 
 func TestMeasureAndRender(t *testing.T) {
