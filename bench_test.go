@@ -218,15 +218,19 @@ func BenchmarkHardwareCost(b *testing.B) {
 // from the sweep engine's memo.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	bench := mustBench(b, "facesim_parsec_small")
+	var ops uint64
 	for i := 0; i < b.N; i++ {
-		out, err := exp.NewRunner(sim.Default()).Run(bench, 16)
+		r := exp.NewRunner(sim.Default())
+		out, err := r.Run(bench, 16)
 		if err != nil {
 			b.Fatal(err)
 		}
+		ops += r.Engine().Stats().SimulatedOps
 		if i == 0 {
 			b.ReportMetric(float64(out.Result.TotalInstrs), "instructions")
 		}
 	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "sim-ops/sec")
 }
 
 // mustBench fetches a registered benchmark or fails the test.

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	speedupd [-addr :8080] [-workers N] [-cache CELLS] [-sim-timeout 2m]
-//	         [-max-sweep-cells 1024] [-drain 10s]
+//	         [-max-sweep-cells 1024] [-drain 10s] [-pprof]
 //
 // Endpoints (see internal/service):
 //
@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -41,6 +43,7 @@ func main() {
 	simTimeout := flag.Duration("sim-timeout", 2*time.Minute, "per-request simulation budget (-1s = none)")
 	maxSweepCells := flag.Int("max-sweep-cells", 1024, "max cells per /v1/sweep batch")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profile a slow sweep live)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected arguments %v\n", flag.Args())
@@ -54,6 +57,21 @@ func main() {
 		MaxSweepCells: *maxSweepCells,
 	})
 
+	handler := srv.Handler()
+	if *pprofOn {
+		// Admin mux: the service routes plus the standard pprof endpoints,
+		// so a slow sweep can be profiled in production with
+		// `go tool pprof http://HOST/debug/pprof/profile`.
+		mux := http.NewServeMux()
+		mux.Handle("/", srv.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("speedupd: %v", err)
@@ -61,9 +79,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("speedupd: listening on %s (%d workers, cache %d cells)",
-		l.Addr(), *workers, *cache)
-	if err := service.Serve(ctx, l, srv.Handler(), *drain); err != nil {
+	log.Printf("speedupd: listening on %s (%d workers, cache %d cells, pprof %v)",
+		l.Addr(), *workers, *cache, *pprofOn)
+	if err := service.Serve(ctx, l, handler, *drain); err != nil {
 		log.Fatalf("speedupd: %v", err)
 	}
 	st := srv.Engine().Stats()

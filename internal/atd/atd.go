@@ -16,7 +16,10 @@
 // tests and ground-truth analysis use.
 package atd
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Config describes one per-core ATD.
 type Config struct {
@@ -56,13 +59,22 @@ func (c Config) SamplingFactor() uint64 { return 1 << c.SampleShift }
 func (c Config) SampledSets() int { return c.Sets >> c.SampleShift }
 
 // Directory is one core's ATD. Only sampled sets are backed by storage.
+//
+// Tags are stored flat (one backing array, Ways-strided rows) with a +1
+// bias so that entry 0 means "empty": the bias folds the valid bit into the
+// tag word, halving the state walked per access. The address decomposition
+// is precomputed shift/mask arithmetic (set count and line size are powers
+// of two), mirroring the LLC's geometry.
 type Directory struct {
 	cfg  Config
 	mask uint64 // set is sampled iff set&mask == 0
-	// tags[sampledSet][way], MRU ordered. A zero tag plus valid=false means
-	// empty; tags are stored with a +1 bias so tag 0 is representable.
-	tags  [][]uint64
-	valid [][]bool
+	// tags holds Ways-strided MRU-ordered rows of biased tags (tag+1;
+	// 0 = empty way).
+	tags []uint64
+
+	lineShift uint   // log2(LineBytes)
+	setBits   uint   // log2(Sets): tag = lineAddr >> setBits
+	setMask   uint64 // Sets-1
 
 	sampledAccesses uint64
 }
@@ -72,32 +84,35 @@ func New(cfg Config) *Directory {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	d := &Directory{
-		cfg:  cfg,
-		mask: (1 << cfg.SampleShift) - 1,
+	return &Directory{
+		cfg:       cfg,
+		mask:      (1 << cfg.SampleShift) - 1,
+		tags:      make([]uint64, cfg.SampledSets()*cfg.Ways),
+		lineShift: uint(bits.TrailingZeros64(uint64(cfg.LineBytes))),
+		setBits:   uint(bits.TrailingZeros64(uint64(cfg.Sets))),
+		setMask:   uint64(cfg.Sets) - 1,
 	}
-	n := cfg.SampledSets()
-	d.tags = make([][]uint64, n)
-	d.valid = make([][]bool, n)
-	tagBacking := make([]uint64, n*cfg.Ways)
-	validBacking := make([]bool, n*cfg.Ways)
-	for i := 0; i < n; i++ {
-		d.tags[i] = tagBacking[i*cfg.Ways : (i+1)*cfg.Ways]
-		d.valid[i] = validBacking[i*cfg.Ways : (i+1)*cfg.Ways]
-	}
-	return d
 }
 
 // Config returns the directory configuration.
 func (d *Directory) Config() Config { return d.cfg }
 
+// Reset empties the directory, reusing its tag storage (machine pooling
+// across simulation runs).
+func (d *Directory) Reset() {
+	for i := range d.tags {
+		d.tags[i] = 0
+	}
+	d.sampledAccesses = 0
+}
+
 // setIndex and tag mirror the LLC address mapping.
 func (d *Directory) setIndex(addr uint64) int {
-	return int(addr / uint64(d.cfg.LineBytes) % uint64(d.cfg.Sets))
+	return int((addr >> d.lineShift) & d.setMask)
 }
 
 func (d *Directory) tag(addr uint64) uint64 {
-	return addr / uint64(d.cfg.LineBytes) / uint64(d.cfg.Sets)
+	return addr >> d.lineShift >> d.setBits
 }
 
 // Sampled reports whether addr falls in a monitored set.
@@ -105,38 +120,54 @@ func (d *Directory) Sampled(addr uint64) bool {
 	return uint64(d.setIndex(addr))&d.mask == 0
 }
 
+// SampledSet reports whether the given set is monitored. It is small enough
+// to inline, letting callers skip the AccessSetTag call entirely for the
+// (1 - 2^-SampleShift) of accesses that fall outside the sample.
+func (d *Directory) SampledSet(set int) bool {
+	return uint64(set)&d.mask == 0
+}
+
 // Access simulates the private-LLC lookup for addr: it reports whether the
 // private cache would have hit, then updates LRU state and installs the line
 // on a miss. For non-sampled sets it reports sampled=false and does nothing.
 func (d *Directory) Access(addr uint64) (hit, sampled bool) {
-	set := d.setIndex(addr)
+	return d.AccessSetTag(d.setIndex(addr), d.tag(addr))
+}
+
+// AccessSetTag is Access with the address already decomposed into the LLC's
+// (set, tag) pair. The simulator decomposes each LLC access once and feeds
+// the same pair to the sampled estimator ATD and the full-coverage oracle
+// ATD — their geometries mirror the same LLC, so the mapping is shared.
+func (d *Directory) AccessSetTag(set int, tag uint64) (hit, sampled bool) {
 	if uint64(set)&d.mask != 0 {
 		return false, false
 	}
 	d.sampledAccesses++
-	row := set >> d.cfg.SampleShift
-	tag := d.tag(addr)
-	tags, valid := d.tags[row], d.valid[row]
+	row := (set >> d.cfg.SampleShift) * d.cfg.Ways
+	tags := d.tags[row : row+d.cfg.Ways]
+	btag := tag + 1
+	// One walk serves both outcomes: the hit check and, for misses, the
+	// LRU-most empty way (the last zero seen equals what a backward scan
+	// would pick first).
+	empty := -1
 	for w := range tags {
-		if valid[w] && tags[w] == tag {
+		if tags[w] == btag {
 			// Promote to MRU.
 			copy(tags[1:w+1], tags[0:w])
-			copy(valid[1:w+1], valid[0:w])
-			tags[0], valid[0] = tag, true
+			tags[0] = btag
 			return true, true
 		}
-	}
-	// Miss: install as MRU, evicting LRU (or filling an empty way).
-	way := len(tags) - 1
-	for w := len(tags) - 1; w >= 0; w-- {
-		if !valid[w] {
-			way = w
-			break
+		if tags[w] == 0 {
+			empty = w
 		}
 	}
+	// Miss: install as MRU, evicting LRU (or filling the empty way).
+	way := len(tags) - 1
+	if empty >= 0 {
+		way = empty
+	}
 	copy(tags[1:way+1], tags[0:way])
-	copy(valid[1:way+1], valid[0:way])
-	tags[0], valid[0] = tag, true
+	tags[0] = btag
 	return false, true
 }
 

@@ -9,7 +9,10 @@
 // bank occupancy) is owned by internal/mem and internal/sim.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Config describes the geometry of one cache.
 type Config struct {
@@ -86,16 +89,18 @@ func (s State) String() string {
 
 // Line is one tag-array entry. The fields beyond Tag/Valid are used only by
 // the cache level that needs them (coherence state in L1s, sharer vector in
-// the LLC); keeping one struct avoids a zoo of near-identical types.
+// the LLC); keeping one struct avoids a zoo of near-identical types. The
+// two 8-byte words lead so the struct packs into 24 bytes — set walks and
+// MRU shifts move 25% less memory than the naive 32-byte layout.
 type Line struct {
-	Tag   uint64
-	Valid bool
-	Dirty bool
-	// State is the MSI state for private caches.
-	State State
+	Tag uint64
 	// Sharers is a bit vector of cores holding the line in their L1
 	// (LLC directory). Limits the simulated machine to 64 cores.
 	Sharers uint64
+	Valid   bool
+	Dirty   bool
+	// State is the MSI state for private caches.
+	State State
 	// OwnerMod is the core holding the line Modified in its L1, or -1.
 	OwnerMod int8
 	// InsertedBy is the core whose miss installed the line (LLC only).
@@ -112,9 +117,25 @@ type Line struct {
 // stored in MRU-to-LRU order within each set; with the small associativities
 // used here (<= 16 ways) the shift on promotion is cheaper and simpler than
 // per-line counters.
+//
+// The geometry is precomputed once at construction: because line size and
+// set count are powers of two (Config.Validate enforces both), the
+// per-access address decomposition is two shifts and a mask instead of the
+// int64 divisions Config's own methods pay. Every per-access operation runs
+// in a single pass over the set.
 type Array struct {
 	cfg  Config
 	sets [][]Line
+
+	lineShift uint   // log2(LineBytes): lineAddr = addr >> lineShift
+	setBits   uint   // log2(Sets): tag = lineAddr >> setBits
+	setMask   uint64 // Sets-1: set = lineAddr & setMask
+
+	// full[set] records that the set holds no invalid ways, letting insert
+	// skip its victim scan: a full set always evicts the LRU way. Sets
+	// only lose lines through Invalidate (which clears the flag), so in
+	// steady state — an LLC set is never invalidated — the scan runs once.
+	full []bool
 }
 
 // NewArray allocates a tag array for the given geometry. It panics on an
@@ -132,19 +153,94 @@ func NewArray(cfg Config) *Array {
 			sets[i][w].InsertedBy = -1
 		}
 	}
-	return &Array{cfg: cfg, sets: sets}
+	return &Array{
+		cfg:       cfg,
+		sets:      sets,
+		lineShift: uint(bits.TrailingZeros64(uint64(cfg.LineBytes))),
+		setBits:   uint(bits.TrailingZeros64(uint64(cfg.Sets()))),
+		setMask:   uint64(cfg.Sets()) - 1,
+		full:      make([]bool, cfg.Sets()),
+	}
 }
 
 // Config returns the array geometry.
 func (a *Array) Config() Config { return a.cfg }
 
+// Reset restores the array to its just-constructed state, reusing the
+// backing storage (machine pooling across simulation runs).
+func (a *Array) Reset() {
+	for _, s := range a.sets {
+		for w := range s {
+			s[w] = Line{OwnerMod: -1, InsertedBy: -1}
+		}
+	}
+	for i := range a.full {
+		a.full[i] = false
+	}
+}
+
+// SetIndex returns the set addr maps to (precomputed shift/mask fast path;
+// equals Config.SetIndex).
+func (a *Array) SetIndex(addr uint64) int {
+	return int((addr >> a.lineShift) & a.setMask)
+}
+
+// Tag returns addr's tag (precomputed shift fast path; equals Config.Tag).
+func (a *Array) Tag(addr uint64) uint64 {
+	return addr >> a.lineShift >> a.setBits
+}
+
+// lookup walks (set, tag) exactly once: on a hit the line is promoted to
+// MRU and a pointer to it (now at way 0) returned; on a miss it reports
+// whether the set holds a coherence tombstone of the tag. The single pass
+// replaces the Probe+Touch+Line and Probe+ProbeTombstone sequences. A valid
+// line and a tombstone never share a tag within a set (Insert consumes and
+// defensively clears same-tag tombstones), so stopping the walk at a hit
+// cannot miss a tombstone that matters.
+func (a *Array) lookup(set int, tag uint64) (line *Line, hit, tombstone bool) {
+	s := a.sets[set]
+	for w := range s {
+		l := &s[w]
+		// Tag first: in the common mismatch case this is the only branch
+		// taken per way.
+		if l.Tag == tag {
+			if l.Valid {
+				if w != 0 {
+					moved := *l
+					copy(s[1:w+1], s[0:w])
+					s[0] = moved
+				}
+				return &s[0], true, false
+			}
+			if l.CoherenceInvalid {
+				tombstone = true
+			}
+		}
+	}
+	return nil, false, tombstone
+}
+
+// probeLine returns the valid line holding (set, tag) without touching
+// replacement state, or nil. Used by the paths that must not promote:
+// upgrade handling and L1-victim writeback into the LLC.
+func (a *Array) probeLine(set int, tag uint64) *Line {
+	s := a.sets[set]
+	for w := range s {
+		if s[w].Tag == tag && s[w].Valid {
+			return &s[w]
+		}
+	}
+	return nil
+}
+
 // Probe looks up addr without updating replacement state. It returns the
 // way index and whether the line is present and valid.
 func (a *Array) Probe(addr uint64) (set, way int, hit bool) {
-	set = a.cfg.SetIndex(addr)
-	tag := a.cfg.Tag(addr)
-	for w := range a.sets[set] {
-		if a.sets[set][w].Valid && a.sets[set][w].Tag == tag {
+	set = a.SetIndex(addr)
+	tag := a.Tag(addr)
+	s := a.sets[set]
+	for w := range s {
+		if s[w].Valid && s[w].Tag == tag {
 			return set, w, true
 		}
 	}
@@ -155,8 +251,8 @@ func (a *Array) Probe(addr uint64) (set, way int, hit bool) {
 // matches addr and that was invalidated by coherence. Used to classify
 // coherence misses.
 func (a *Array) ProbeTombstone(addr uint64) bool {
-	set := a.cfg.SetIndex(addr)
-	tag := a.cfg.Tag(addr)
+	set := a.SetIndex(addr)
+	tag := a.Tag(addr)
 	for w := range a.sets[set] {
 		l := &a.sets[set][w]
 		if !l.Valid && l.CoherenceInvalid && l.Tag == tag {
@@ -180,31 +276,41 @@ func (a *Array) Touch(set, way int) {
 	s[0] = l
 }
 
-// Insert installs a new line for addr as MRU, evicting the LRU entry of the
-// set if every way is valid. Invalid entries (including tombstones) are
-// consumed first, preferring the LRU-most invalid way. It returns the
-// victim's previous contents and whether a valid line was evicted.
-func (a *Array) Insert(addr uint64) (victim Line, evicted bool) {
-	set := a.cfg.SetIndex(addr)
-	tag := a.cfg.Tag(addr)
+// insert installs (set, tag) as MRU, evicting the LRU entry of the set if
+// every way is valid, and returns a pointer to the installed line. Invalid
+// entries (including tombstones) are consumed first, preferring the
+// LRU-most invalid way; a tombstone of the same tag is always consumed, so
+// a stale coherence marker cannot survive the line's return.
+func (a *Array) insert(set int, tag uint64) (mru *Line, victim Line, evicted bool) {
 	s := a.sets[set]
-	way := -1
-	for w := len(s) - 1; w >= 0; w-- {
-		if !s[w].Valid {
-			if way < 0 {
-				way = w
-			}
-			// Prefer a tombstone of the same tag: a refill over an
-			// invalidated line must consume its tombstone, otherwise a
-			// stale coherence marker would survive the line's return.
-			if s[w].CoherenceInvalid && s[w].Tag == tag {
-				way = w
-				break
+	way := len(s) - 1
+	consumed := false // the fill way is a tombstone of this tag
+	if !a.full[set] {
+		way = -1
+		invalids := 0
+		for w := len(s) - 1; w >= 0; w-- {
+			if !s[w].Valid {
+				invalids++
+				if way < 0 {
+					way = w
+				}
+				if s[w].CoherenceInvalid && s[w].Tag == tag {
+					way = w
+					consumed = true
+					break
+				}
 			}
 		}
-	}
-	if way < 0 {
-		way = len(s) - 1
+		if way < 0 {
+			way = len(s) - 1
+			a.full[set] = true
+		} else if !consumed && invalids == 1 {
+			// The completed scan found exactly one invalid way and this
+			// insert consumes it, so the set is full from here on. (An
+			// early tombstone break leaves the count unknown; the flag
+			// stays clear and the next insert rescans.)
+			a.full[set] = true
+		}
 	}
 	victim = s[way]
 	evicted = victim.Valid
@@ -216,27 +322,38 @@ func (a *Array) Insert(addr uint64) (victim Line, evicted bool) {
 		OwnerMod:   -1,
 		InsertedBy: -1,
 	}
-	// Defensive: no stale tombstone of this tag may survive the refill.
-	for w := 1; w < len(s); w++ {
-		if !s[w].Valid && s[w].CoherenceInvalid && s[w].Tag == tag {
-			s[w].CoherenceInvalid = false
-			s[w].Tag = 0
+	if consumed {
+		// The selection scan stopped at the consumed tombstone, so the
+		// more-MRU ways were not examined: defensively clear any stale
+		// tombstone of this tag. (When the scan completed without a
+		// break it examined every way and proved no such tombstone
+		// exists, so this pass is skipped.)
+		for w := 1; w < len(s); w++ {
+			if !s[w].Valid && s[w].CoherenceInvalid && s[w].Tag == tag {
+				s[w].CoherenceInvalid = false
+				s[w].Tag = 0
+			}
 		}
 	}
+	return &s[0], victim, evicted
+}
+
+// Insert installs a new line for addr as MRU, evicting the LRU entry of the
+// set if every way is valid. Invalid entries (including tombstones) are
+// consumed first, preferring the LRU-most invalid way. It returns the
+// victim's previous contents and whether a valid line was evicted.
+func (a *Array) Insert(addr uint64) (victim Line, evicted bool) {
+	_, victim, evicted = a.insert(a.SetIndex(addr), a.Tag(addr))
 	return victim, evicted
 }
 
-// Invalidate removes addr from the array if present. If coherence is true
-// the entry is kept as a tombstone (tag retained, valid bit cleared,
-// CoherenceInvalid set) so a later access can be classified as a coherence
-// miss; otherwise the entry is fully cleared. It returns the line's previous
-// contents and whether the line was present.
-func (a *Array) Invalidate(addr uint64, coherence bool) (old Line, present bool) {
-	set, way, hit := a.Probe(addr)
-	if !hit {
+// invalidate is Invalidate with the address math hoisted out.
+func (a *Array) invalidate(set int, tag uint64, coherence bool) (old Line, present bool) {
+	l := a.probeLine(set, tag)
+	if l == nil {
 		return Line{}, false
 	}
-	l := &a.sets[set][way]
+	a.full[set] = false
 	old = *l
 	l.Valid = false
 	l.Dirty = false
@@ -252,11 +369,19 @@ func (a *Array) Invalidate(addr uint64, coherence bool) (old Line, present bool)
 	return old, true
 }
 
+// Invalidate removes addr from the array if present. If coherence is true
+// the entry is kept as a tombstone (tag retained, valid bit cleared,
+// CoherenceInvalid set) so a later access can be classified as a coherence
+// miss; otherwise the entry is fully cleared. It returns the line's previous
+// contents and whether the line was present.
+func (a *Array) Invalidate(addr uint64, coherence bool) (old Line, present bool) {
+	return a.invalidate(a.SetIndex(addr), a.Tag(addr), coherence)
+}
+
 // VictimAddr reconstructs the base byte address of a victim line evicted
 // from set.
 func (a *Array) VictimAddr(set int, v Line) uint64 {
-	lineAddr := v.Tag*uint64(a.cfg.Sets()) + uint64(set)
-	return lineAddr * uint64(a.cfg.LineBytes)
+	return (v.Tag<<a.setBits | uint64(set)) << a.lineShift
 }
 
 // CountValid returns the number of valid lines (test/diagnostic helper).

@@ -1,5 +1,7 @@
 package cache
 
+import "math/bits"
+
 // Hierarchy models the two-level cache system of the simulated CMP: private
 // per-core L1 data caches over a shared, inclusive LLC, kept coherent with a
 // directory-style MSI invalidation protocol (sharer vector per LLC line).
@@ -26,6 +28,23 @@ type HierarchyStats struct {
 	Invalidations   []uint64 // lines invalidated in this core's L1 by others
 	DirtyForwards   []uint64 // accesses serviced from a remote Modified line
 	LLCWritebacks   uint64   // dirty LLC victims written to memory
+}
+
+// Clone returns a deep copy of the statistics: the per-core slices are
+// copied, not aliased. Results that outlive the hierarchy must clone —
+// machines are pooled across runs, so the live counters are reset and
+// reused after the run that produced them.
+func (s HierarchyStats) Clone() HierarchyStats {
+	c := s
+	c.L1Hits = append([]uint64(nil), s.L1Hits...)
+	c.L1Misses = append([]uint64(nil), s.L1Misses...)
+	c.LLCHits = append([]uint64(nil), s.LLCHits...)
+	c.LLCMisses = append([]uint64(nil), s.LLCMisses...)
+	c.CoherenceMisses = append([]uint64(nil), s.CoherenceMisses...)
+	c.Upgrades = append([]uint64(nil), s.Upgrades...)
+	c.Invalidations = append([]uint64(nil), s.Invalidations...)
+	c.DirtyForwards = append([]uint64(nil), s.DirtyForwards...)
+	return c
 }
 
 // Outcome describes what one access did to the hierarchy.
@@ -95,26 +114,52 @@ func (h *Hierarchy) L1(core int) *Array { return h.l1[core] }
 // Stats returns the accumulated protocol statistics.
 func (h *Hierarchy) Stats() *HierarchyStats { return &h.stats }
 
+// Reset restores the hierarchy to its just-constructed state, reusing every
+// tag array and counter slice (machine pooling across simulation runs).
+func (h *Hierarchy) Reset() {
+	for _, a := range h.l1 {
+		a.Reset()
+	}
+	h.llc.Reset()
+	for _, s := range [][]uint64{
+		h.stats.L1Hits, h.stats.L1Misses, h.stats.LLCHits, h.stats.LLCMisses,
+		h.stats.CoherenceMisses, h.stats.Upgrades, h.stats.Invalidations,
+		h.stats.DirtyForwards,
+	} {
+		for i := range s {
+			s[i] = 0
+		}
+	}
+	h.stats.LLCWritebacks = 0
+}
+
 // Access performs one load or store by core to addr and returns the
 // structural outcome. It updates L1 and LLC contents, replacement state,
 // sharer vectors and coherence tombstones.
+//
+// The address is decomposed exactly once per array geometry (all L1s share
+// one geometry, so one L1 set/tag pair serves every private cache), and
+// each set touched is walked in a single pass: lookup fuses probe, MRU
+// promotion and tombstone classification; insert fuses victim selection
+// with the MRU install.
 func (h *Hierarchy) Access(core int, addr uint64, write bool) Outcome {
 	var out Outcome
 	l1 := h.l1[core]
-	out.LLCSet = h.llc.Config().SetIndex(addr)
+	llc := h.llc
+	l1Set, l1Tag := l1.SetIndex(addr), l1.Tag(addr)
+	llcSet, llcTag := llc.SetIndex(addr), llc.Tag(addr)
+	out.LLCSet = llcSet
 
-	if set, way, hit := l1.Probe(addr); hit {
-		l1.Touch(set, way) // after Touch the hit line is at way 0
-		line := l1.Line(set, 0)
+	line, hit, tombstone := l1.lookup(l1Set, l1Tag)
+	if hit {
 		h.stats.L1Hits[core]++
 		out.L1Hit = true
 		if write && line.State == Shared {
 			// Upgrade: invalidate all other sharers via the directory.
 			out.Upgrade = true
 			h.stats.Upgrades[core]++
-			if _, lway, lhit := h.llc.Probe(addr); lhit {
-				lline := h.llc.Line(h.llc.Config().SetIndex(addr), lway)
-				out.InvalidationsSent = h.invalidateRemoteSharers(core, addr, lline)
+			if lline := llc.probeLine(llcSet, llcTag); lline != nil {
+				out.InvalidationsSent = h.invalidateRemoteSharers(core, l1Set, l1Tag, lline)
 				lline.Sharers = 1 << uint(core)
 				lline.OwnerMod = int8(core)
 			}
@@ -124,33 +169,30 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Outcome {
 		return out
 	}
 
-	// L1 miss path.
+	// L1 miss path; the miss walk above already classified the tombstone.
 	h.stats.L1Misses[core]++
-	if l1.ProbeTombstone(addr) {
+	if tombstone {
 		out.CoherenceMiss = true
 		h.stats.CoherenceMisses[core]++
 	}
 
-	llcSet, llcWay, llcHit := h.llc.Probe(addr)
-	if llcHit {
+	if line, llcHit, _ := llc.lookup(llcSet, llcTag); llcHit {
 		h.stats.LLCHits[core]++
 		out.LLCHit = true
-		line := h.llc.Line(llcSet, llcWay)
 		if line.OwnerMod >= 0 && int(line.OwnerMod) != core {
 			// Remote Modified copy: forward and downgrade/invalidate it.
 			out.DirtyForward = true
 			h.stats.DirtyForwards[core]++
 			owner := int(line.OwnerMod)
 			if write {
-				if _, present := h.l1[owner].Invalidate(addr, true); present {
+				if _, present := h.l1[owner].invalidate(l1Set, l1Tag, true); present {
 					h.stats.Invalidations[owner]++
 					out.InvalidationsSent++
 				}
 				line.Sharers &^= 1 << uint(owner)
 			} else {
 				// Downgrade owner M->S; its data is written back into LLC.
-				if oset, oway, ohit := h.l1[owner].Probe(addr); ohit {
-					ol := h.l1[owner].Line(oset, oway)
+				if ol := h.l1[owner].probeLine(l1Set, l1Tag); ol != nil {
 					ol.State = Shared
 					ol.Dirty = false
 				}
@@ -159,31 +201,31 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Outcome {
 			line.OwnerMod = -1
 		}
 		if write {
-			out.InvalidationsSent += h.invalidateRemoteSharers(core, addr, line)
+			out.InvalidationsSent += h.invalidateRemoteSharers(core, l1Set, l1Tag, line)
 			line.Sharers = 1 << uint(core)
 			line.OwnerMod = int8(core)
 		} else {
 			line.Sharers |= 1 << uint(core)
 		}
-		h.llc.Touch(llcSet, llcWay)
-		h.fillL1(core, addr, write)
+		h.fillL1(core, l1Set, l1Tag, write)
 		return out
 	}
 
 	// LLC miss: fetch from memory, install in LLC then L1.
 	h.stats.LLCMisses[core]++
-	victim, evicted := h.llc.Insert(addr)
+	newLine, victim, evicted := llc.insert(llcSet, llcTag)
 	if evicted {
 		out.LLCVictimValid = true
-		out.LLCVictimAddr = h.llc.VictimAddr(llcSet, victim)
+		out.LLCVictimAddr = llc.VictimAddr(llcSet, victim)
 		// Inclusive LLC: purge the victim from every sharer's L1. These are
 		// capacity invalidations, not coherence, so no tombstone is left.
+		// All L1s share one geometry: decompose the victim address once,
+		// and iterate set bits instead of scanning every core.
+		vSet, vTag := l1.SetIndex(out.LLCVictimAddr), l1.Tag(out.LLCVictimAddr)
 		dirtyInL1 := false
-		for c := 0; c < len(h.l1); c++ {
-			if victim.Sharers&(1<<uint(c)) == 0 {
-				continue
-			}
-			if old, present := h.l1[c].Invalidate(out.LLCVictimAddr, false); present {
+		for v := victim.Sharers; v != 0; v &= v - 1 {
+			c := bits.TrailingZeros64(v)
+			if old, present := h.l1[c].invalidate(vSet, vTag, false); present {
 				if old.State == Modified || old.Dirty {
 					dirtyInL1 = true
 				}
@@ -194,26 +236,24 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Outcome {
 			h.stats.LLCWritebacks++
 		}
 	}
-	newSet := h.llc.Config().SetIndex(addr)
-	newLine := h.llc.Line(newSet, 0)
 	newLine.InsertedBy = int8(core)
 	newLine.Sharers = 1 << uint(core)
 	if write {
 		newLine.OwnerMod = int8(core)
 	}
-	h.fillL1(core, addr, write)
+	h.fillL1(core, l1Set, l1Tag, write)
 	return out
 }
 
-// invalidateRemoteSharers invalidates addr in every L1 other than core's,
-// leaving coherence tombstones. It returns the number of invalidations.
-func (h *Hierarchy) invalidateRemoteSharers(core int, addr uint64, line *Line) int {
+// invalidateRemoteSharers invalidates the (set, tag) line in every L1 other
+// than core's, leaving coherence tombstones. All L1s share one geometry, so
+// the caller's decomposition serves every private cache. It returns the
+// number of invalidations.
+func (h *Hierarchy) invalidateRemoteSharers(core, set int, tag uint64, line *Line) int {
 	n := 0
-	for c := 0; c < len(h.l1); c++ {
-		if c == core || line.Sharers&(1<<uint(c)) == 0 {
-			continue
-		}
-		if _, present := h.l1[c].Invalidate(addr, true); present {
+	for v := line.Sharers &^ (1 << uint(core)); v != 0; v &= v - 1 {
+		c := bits.TrailingZeros64(v)
+		if _, present := h.l1[c].invalidate(set, tag, true); present {
 			h.stats.Invalidations[c]++
 			n++
 		}
@@ -221,13 +261,12 @@ func (h *Hierarchy) invalidateRemoteSharers(core int, addr uint64, line *Line) i
 	return n
 }
 
-// fillL1 installs addr into core's L1 in the appropriate MSI state and
-// handles the L1 victim (writeback into the LLC line, sharer-bit cleanup).
-func (h *Hierarchy) fillL1(core int, addr uint64, write bool) {
+// fillL1 installs the (set, tag) line into core's L1 in the appropriate MSI
+// state and handles the L1 victim (writeback into the LLC line, sharer-bit
+// cleanup).
+func (h *Hierarchy) fillL1(core, set int, tag uint64, write bool) {
 	l1 := h.l1[core]
-	victim, evicted := l1.Insert(addr)
-	set := l1.Config().SetIndex(addr)
-	line := l1.Line(set, 0)
+	line, victim, evicted := l1.insert(set, tag)
 	if write {
 		line.State = Modified
 		line.Dirty = true
@@ -238,8 +277,7 @@ func (h *Hierarchy) fillL1(core int, addr uint64, write bool) {
 		return
 	}
 	vaddr := l1.VictimAddr(set, victim)
-	if vset, vway, vhit := h.llc.Probe(vaddr); vhit {
-		vline := h.llc.Line(vset, vway)
+	if vline := h.llc.probeLine(h.llc.SetIndex(vaddr), h.llc.Tag(vaddr)); vline != nil {
 		vline.Sharers &^= 1 << uint(core)
 		if victim.State == Modified || victim.Dirty {
 			vline.Dirty = true

@@ -168,6 +168,11 @@ type Stats struct {
 	CellEvictions int
 	// InFlight is a gauge: simulations executing right now.
 	InFlight int
+	// SimulatedOps is the cumulative count of trace operations executed by
+	// the engine's simulations (cells and sequential references; memo hits
+	// add nothing). SimulatedOps over wall-clock time is the engine's
+	// simulator throughput.
+	SimulatedOps uint64
 }
 
 // Engine is the concurrent deduplicating sweep executor. It is safe for
@@ -490,6 +495,9 @@ func (e *Engine) runCell(ctx context.Context, k cellKey, b workload.Benchmark) (
 	if err != nil {
 		return Outcome{}, fmt.Errorf("%s x%d: %w", b.FullName(), k.threads, err)
 	}
+	e.mu.Lock()
+	e.stats.SimulatedOps += res.TotalOps
+	e.mu.Unlock()
 	stack := res.Stack(ts)
 	return Outcome{
 		Bench:     b,
@@ -540,10 +548,15 @@ func (e *Engine) runSeq(ctx context.Context, cfg sim.Config, b workload.Benchmar
 		return 0, err
 	}
 	cfg.Policy = b.Spec.TunePolicy(cfg.Policy)
-	res, err := sim.RunSequential(cfg, prog)
+	// The reference run contributes only Tp; skipping the accounting
+	// hardware (which never affects timing) halves its tag-directory work.
+	res, err := sim.RunSequential(cfg, prog, sim.WithoutAccounting())
 	if err != nil {
 		return 0, fmt.Errorf("%s sequential: %w", b.FullName(), err)
 	}
+	e.mu.Lock()
+	e.stats.SimulatedOps += res.TotalOps
+	e.mu.Unlock()
 	return res.Tp, nil
 }
 

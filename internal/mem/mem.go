@@ -19,7 +19,13 @@
 // the simulator's quantum engine guarantees bounded skew.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
+
+// pow2 reports whether v is a positive power of two.
+func pow2(v uint64) bool { return v > 0 && v&(v-1) == 0 }
 
 // Config describes the memory subsystem.
 type Config struct {
@@ -143,6 +149,16 @@ type Controller struct {
 	banks []bank
 	oras  []*ORA
 
+	// Precomputed address decomposition. When the bank count and the
+	// lines-per-row ratio are powers of two (the common configuration),
+	// bank and row come out of shifts and a mask instead of the divisions
+	// Config.Bank/Config.Row pay; geomPow2 gates the fast path.
+	geomPow2  bool
+	lineShift uint
+	bankBits  uint
+	bankMask  uint64
+	rowShift  uint // bankBits + log2(lines per row)
+
 	stats Stats
 }
 
@@ -160,6 +176,14 @@ func NewController(cfg Config, cores int) *Controller {
 		panic(err)
 	}
 	c := &Controller{cfg: cfg, busLastOwner: -1}
+	linesPerRow := uint64(cfg.RowBytes / cfg.LineBytes)
+	if pow2(uint64(cfg.Banks)) && pow2(uint64(cfg.LineBytes)) && linesPerRow > 0 && pow2(linesPerRow) {
+		c.geomPow2 = true
+		c.lineShift = uint(bits.TrailingZeros64(uint64(cfg.LineBytes)))
+		c.bankBits = uint(bits.TrailingZeros64(uint64(cfg.Banks)))
+		c.bankMask = uint64(cfg.Banks) - 1
+		c.rowShift = c.bankBits + uint(bits.TrailingZeros64(linesPerRow))
+	}
 	c.banks = make([]bank, cfg.Banks)
 	for i := range c.banks {
 		c.banks[i] = bank{
@@ -178,16 +202,47 @@ func NewController(cfg Config, cores int) *Controller {
 // Config returns the controller configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
+// Reset restores the controller to its just-constructed state, reusing the
+// bank and ORA storage (machine pooling across simulation runs).
+func (c *Controller) Reset() {
+	c.busFreeAt = 0
+	c.busLastOwner = -1
+	c.stats = Stats{}
+	for i := range c.banks {
+		b := &c.banks[i]
+		b.freeAt, b.lastOwner, b.openRow, b.rowValid = 0, -1, 0, false
+		for j := range b.lastRowByCore {
+			b.lastRowByCore[j] = 0
+		}
+		for j := range b.lastRowValid {
+			b.lastRowValid[j] = false
+		}
+	}
+	for _, o := range c.oras {
+		o.Reset()
+	}
+}
+
 // Stats returns accumulated counters.
 func (c *Controller) Stats() Stats { return c.stats }
+
+// bankRow decomposes addr once: the bank index and row, via the precomputed
+// shift/mask fast path or Config's division fallback.
+func (c *Controller) bankRow(addr uint64) (int, uint64) {
+	if c.geomPow2 {
+		line := addr >> c.lineShift
+		return int(line & c.bankMask), line >> c.rowShift
+	}
+	return c.cfg.Bank(addr), c.cfg.Row(addr)
+}
 
 // Access services a cache-line fetch for core starting at time now and
 // returns its timing/interference decomposition.
 func (c *Controller) Access(now uint64, core int, addr uint64) AccessResult {
 	c.stats.Accesses++
 	var res AccessResult
-	bk := &c.banks[c.cfg.Bank(addr)]
-	row := c.cfg.Row(addr)
+	bankIdx, row := c.bankRow(addr)
+	bk := &c.banks[bankIdx]
 
 	// Bank queueing.
 	start := now
@@ -219,7 +274,7 @@ func (c *Controller) Access(now uint64, core int, addr uint64) AccessResult {
 		// Estimator: the ORA remembers rows this core opened; a match means
 		// "I opened this row most recently (as far as I know), so someone
 		// else must have closed it".
-		res.RowConflictOtherORA = c.oras[core].Contains(c.cfg.Bank(addr), row)
+		res.RowConflictOtherORA = c.oras[core].Contains(bankIdx, row)
 	}
 	bankDone := start + rowLat
 
@@ -243,7 +298,7 @@ func (c *Controller) Access(now uint64, core int, addr uint64) AccessResult {
 	bk.lastRowValid[core] = true
 	c.busFreeAt = done
 	c.busLastOwner = core
-	c.oras[core].Record(c.cfg.Bank(addr), row)
+	c.oras[core].Record(bankIdx, row)
 
 	res.Latency = done - now
 	return res
@@ -282,10 +337,18 @@ func NewORA(n int) *ORA {
 	return &ORA{entries: make([]oraEntry, n)}
 }
 
+// Reset empties the ORA, reusing its entry storage.
+func (o *ORA) Reset() {
+	for i := range o.entries {
+		o.entries[i] = oraEntry{}
+	}
+}
+
 // Record notes that this core opened row in bank, promoting it to MRU.
 func (o *ORA) Record(bank int, row uint64) {
 	idx := len(o.entries) - 1
-	for i, e := range o.entries {
+	for i := range o.entries {
+		e := &o.entries[i]
 		if e.valid && e.bank == bank {
 			// One entry per bank: the most recent row opened in that bank.
 			idx = i
@@ -303,7 +366,8 @@ func (o *ORA) Record(bank int, row uint64) {
 // Contains reports whether the ORA believes this core opened row in bank
 // most recently.
 func (o *ORA) Contains(bank int, row uint64) bool {
-	for _, e := range o.entries {
+	for i := range o.entries {
+		e := &o.entries[i]
 		if e.valid && e.bank == bank {
 			return e.row == row
 		}

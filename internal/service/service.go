@@ -88,6 +88,7 @@ type Server struct {
 	simTimeout    time.Duration
 	maxSweepCells int
 	mux           *http.ServeMux
+	started       time.Time
 
 	mu        sync.Mutex
 	requests  map[string]uint64 // by route
@@ -128,6 +129,7 @@ func New(opts Options) *Server {
 		simTimeout:    st,
 		maxSweepCells: maxCells,
 		mux:           http.NewServeMux(),
+		started:       time.Now(),
 		requests:      make(map[string]uint64),
 		responses:     make(map[int]uint64),
 	}
@@ -549,6 +551,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		hitRate = float64(st.CellHits) / float64(lookups)
 	}
 	fmt.Fprintf(w, "speedupd_cache_hit_rate %.4f\n", hitRate)
+	// Simulator throughput: cumulative trace ops executed by the engine's
+	// simulations, and the lifetime average rate, so operators can see
+	// whether the simulator itself (rather than caching) is the bottleneck.
+	fmt.Fprintf(w, "speedupd_simulated_ops_total %d\n", st.SimulatedOps)
+	opsPerSec := 0.0
+	if up := time.Since(s.started).Seconds(); up > 0 {
+		opsPerSec = float64(st.SimulatedOps) / up
+	}
+	fmt.Fprintf(w, "speedupd_simulated_ops_per_second %.1f\n", opsPerSec)
 }
 
 // Serve runs h on l until ctx is canceled, then shuts down gracefully:

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/atd"
 	"repro/internal/cache"
@@ -28,7 +29,15 @@ const (
 type thread struct {
 	id   int
 	prog trace.Program
-	fb   trace.Feedback
+	// bprog is prog's batching interface, or nil; batchRing buffers the
+	// current chunk (ring[rpos:rlen] is unconsumed). Buffered ops stay
+	// valid across blocking waits: feedback-sensitive programs end batches
+	// after the feedback-producing op (the trace.BatchProgram contract).
+	bprog trace.BatchProgram
+	ring  []trace.Op
+	rpos  int
+	rlen  int
+	fb    trace.Feedback
 
 	// time is the thread's local execution cursor in cycles.
 	time     uint64
@@ -61,13 +70,61 @@ type Machine struct {
 	oracleATDs []*atd.Directory // per core: full coverage (ground truth)
 	os         *sched.OS
 
-	locks    map[uint32]*syncprim.Lock
-	barriers map[uint32]*syncprim.Barrier
-	queues   map[uint32]*syncprim.Queue
+	// LLC address decomposition, precomputed so one (set, tag) pair per
+	// access feeds both tag directories (their geometry mirrors the LLC).
+	llcLineShift uint
+	llcSetBits   uint
+	llcSetMask   uint64
+
+	// Dispatch rounding, precomputed: cpu.Config.ComputeCycles divides by
+	// DispatchWidth on every compute and memory op; for power-of-two
+	// widths (the default four-wide core) the ceil-divide is a shift.
+	dispPow2  bool
+	dispShift uint
+	dispRound uint64
+
+	// Synchronization primitives, indexed directly by id. Workload
+	// generators use small dense id spaces (locks 0..NumLocks, pipeline
+	// queues/barriers per stage, one barrier per phase), so a grow-on-use
+	// slice holds exactly as many slots as the map it replaced held
+	// entries, while the per-op lookup is one bounds check instead of a
+	// hash.
+	locks    []*syncprim.Lock
+	barriers []*syncprim.Barrier
+	queues   []*syncprim.Queue
 
 	threads    []*thread
 	coreIdleAt []uint64
 	finished   int
+
+	// acct enables the interference-accounting hardware (the per-core
+	// ATDs). It never affects timing — the directories only feed counters
+	// — so runs whose accounting nobody reads (sequential references,
+	// which contribute only Tp) skip the tag-directory walks entirely.
+	acct bool
+
+	// ops counts executed trace operations (Result.TotalOps).
+	ops uint64
+}
+
+// batchSize is the per-thread op ring capacity for batching programs.
+const batchSize = 512
+
+// computeCycles is cpu.Config.ComputeCycles with the division replaced by
+// the precomputed shift for power-of-two dispatch widths.
+func (m *Machine) computeCycles(instrs uint64) uint64 {
+	if m.dispPow2 {
+		return (instrs + m.dispRound) >> m.dispShift
+	}
+	return m.cfg.CPU.ComputeCycles(instrs)
+}
+
+// grow extends s so that id is a valid index.
+func grow[T any](s []T, id uint32) []T {
+	if int(id) < len(s) {
+		return s
+	}
+	return append(s, make([]T, int(id)+1-len(s))...)
 }
 
 // NewMachine builds a machine executing one program per software thread.
@@ -81,14 +138,20 @@ func NewMachine(cfg Config, progs []trace.Program) (*Machine, error) {
 		return nil, fmt.Errorf("sim: no thread programs")
 	}
 	m := &Machine{
-		cfg:        cfg,
-		hier:       cache.NewHierarchy(cfg.Cores, cfg.L1, cfg.LLC),
-		memc:       mem.NewController(cfg.Mem, cfg.Cores),
-		os:         sched.New(cfg.Sched, cfg.Cores, len(progs)),
-		locks:      make(map[uint32]*syncprim.Lock),
-		barriers:   make(map[uint32]*syncprim.Barrier),
-		queues:     make(map[uint32]*syncprim.Queue),
-		coreIdleAt: make([]uint64, cfg.Cores),
+		acct:         true,
+		cfg:          cfg,
+		hier:         cache.NewHierarchy(cfg.Cores, cfg.L1, cfg.LLC),
+		memc:         mem.NewController(cfg.Mem, cfg.Cores),
+		os:           sched.New(cfg.Sched, cfg.Cores, len(progs)),
+		coreIdleAt:   make([]uint64, cfg.Cores),
+		llcLineShift: uint(bits.TrailingZeros64(uint64(cfg.LLC.LineBytes))),
+		llcSetBits:   uint(bits.TrailingZeros64(uint64(cfg.LLC.Sets()))),
+		llcSetMask:   uint64(cfg.LLC.Sets()) - 1,
+	}
+	if w := uint64(cfg.CPU.DispatchWidth); w&(w-1) == 0 {
+		m.dispPow2 = true
+		m.dispShift = uint(bits.TrailingZeros64(w))
+		m.dispRound = w - 1
 	}
 	m.atds = make([]*atd.Directory, cfg.Cores)
 	m.oracleATDs = make([]*atd.Directory, cfg.Cores)
@@ -98,19 +161,80 @@ func NewMachine(cfg Config, progs []trace.Program) (*Machine, error) {
 	}
 	m.threads = make([]*thread, len(progs))
 	for i, p := range progs {
-		m.threads[i] = &thread{
+		t := &thread{
 			id:   i,
 			prog: p,
 			det:  spin.NewDetector(cfg.Spin),
 		}
+		if bp, ok := p.(trace.BatchProgram); ok {
+			t.bprog = bp
+			t.ring = make([]trace.Op, batchSize)
+		}
+		m.threads[i] = t
 	}
 	return m, nil
 }
 
+// reset restores a pooled machine to its just-constructed state for a new
+// set of thread programs, reusing the multi-megabyte cache, ATD, controller
+// and thread storage behind it. A reset machine is behaviorally
+// indistinguishable from one built by NewMachine with the same
+// configuration: simulation results are a deterministic function of
+// (config, programs) either way (the pool determinism test and the
+// experiments golden test pin this).
+func (m *Machine) reset(progs []trace.Program) error {
+	if len(progs) == 0 {
+		return fmt.Errorf("sim: no thread programs")
+	}
+	m.clock, m.finished, m.ops = 0, 0, 0
+	m.acct = true
+	m.hier.Reset()
+	m.memc.Reset()
+	for _, d := range m.atds {
+		d.Reset()
+	}
+	for _, d := range m.oracleATDs {
+		d.Reset()
+	}
+	m.os = sched.New(m.cfg.Sched, m.cfg.Cores, len(progs))
+	for i := range m.coreIdleAt {
+		m.coreIdleAt[i] = 0
+	}
+	clear(m.locks)
+	m.locks = m.locks[:0]
+	clear(m.barriers)
+	m.barriers = m.barriers[:0]
+	clear(m.queues)
+	m.queues = m.queues[:0]
+	if cap(m.threads) >= len(progs) {
+		m.threads = m.threads[:len(progs)]
+	} else {
+		m.threads = append(m.threads[:cap(m.threads)],
+			make([]*thread, len(progs)-cap(m.threads))...)
+	}
+	for i, p := range progs {
+		t := m.threads[i]
+		if t == nil {
+			t = new(thread)
+			m.threads[i] = t
+		}
+		ring := t.ring
+		*t = thread{id: i, prog: p, det: spin.NewDetector(m.cfg.Spin), ring: ring}
+		if bp, ok := p.(trace.BatchProgram); ok {
+			t.bprog = bp
+			if t.ring == nil {
+				t.ring = make([]trace.Op, batchSize)
+			}
+		}
+	}
+	return nil
+}
+
 // lock returns (creating if needed) the lock with the given id.
 func (m *Machine) lock(id uint32) *syncprim.Lock {
-	l, ok := m.locks[id]
-	if !ok {
+	m.locks = grow(m.locks, id)
+	l := m.locks[id]
+	if l == nil {
 		l = syncprim.NewLock()
 		m.locks[id] = l
 	}
@@ -120,8 +244,9 @@ func (m *Machine) lock(id uint32) *syncprim.Lock {
 // barrier returns the barrier with the given id, created on first use with
 // as many parties as there are software threads.
 func (m *Machine) barrier(id uint32) *syncprim.Barrier {
-	b, ok := m.barriers[id]
-	if !ok {
+	m.barriers = grow(m.barriers, id)
+	b := m.barriers[id]
+	if b == nil {
 		b = syncprim.NewBarrier(len(m.threads))
 		m.barriers[id] = b
 	}
@@ -131,8 +256,9 @@ func (m *Machine) barrier(id uint32) *syncprim.Barrier {
 // queue returns the queue with the given id, created on first use with a
 // default capacity; workloads can size queues via RegisterQueue.
 func (m *Machine) queue(id uint32) *syncprim.Queue {
-	q, ok := m.queues[id]
-	if !ok {
+	m.queues = grow(m.queues, id)
+	q := m.queues[id]
+	if q == nil {
 		q = syncprim.NewQueue(16)
 		m.queues[id] = q
 	}
@@ -141,11 +267,13 @@ func (m *Machine) queue(id uint32) *syncprim.Queue {
 
 // RegisterQueue pre-creates queue id with the given capacity.
 func (m *Machine) RegisterQueue(id uint32, capacity int) {
+	m.queues = grow(m.queues, id)
 	m.queues[id] = syncprim.NewQueue(capacity)
 }
 
 // RegisterBarrier pre-creates barrier id spanning parties threads.
 func (m *Machine) RegisterBarrier(id uint32, parties int) {
+	m.barriers = grow(m.barriers, id)
 	m.barriers[id] = syncprim.NewBarrier(parties)
 }
 
@@ -161,13 +289,35 @@ func syncPC(kind waitKind, id uint32) uint64 {
 
 // Run executes the machine to completion and returns the result.
 func (m *Machine) Run() (Result, error) {
+	quantum := m.cfg.Quantum
+	if len(m.threads) == 1 && m.cfg.Cores == 1 {
+		// One thread on one core — the sequential reference shape — has no
+		// other actor contending for any shared resource, so the relaxed
+		// synchronization quantum bounds nothing: boundaries are
+		// unobservable and the run can execute as a single quantum. Timing
+		// is identical op for op; only the per-quantum loop overhead goes.
+		// The horizon is the quantum-stepped loop's effective one — the
+		// first quantum boundary at or past MaxCycles — so runs finishing
+		// inside the final partial quantum still complete, exactly as in
+		// the stepped loop.
+		quantum = (m.cfg.MaxCycles-1)/m.cfg.Quantum*m.cfg.Quantum + m.cfg.Quantum
+		if quantum < m.cfg.MaxCycles { // overflow guard
+			quantum = m.cfg.MaxCycles
+		}
+	}
 	for m.finished < len(m.threads) {
 		if m.clock >= m.cfg.MaxCycles {
 			return Result{}, fmt.Errorf("sim: exceeded MaxCycles=%d with %d/%d threads finished",
 				m.cfg.MaxCycles, m.finished, len(m.threads))
 		}
-		qEnd := m.clock + m.cfg.Quantum
+		qEnd := m.clock + quantum
 		for c := 0; c < m.cfg.Cores; c++ {
+			// Fast skip of cores whose thread has already executed past
+			// this quantum boundary — runCore's own first check, hoisted
+			// to avoid the call on the (common) nothing-to-do quanta.
+			if tid := m.os.Running(c); tid >= 0 && m.threads[tid].time >= qEnd {
+				continue
+			}
 			m.runCore(c, qEnd)
 		}
 		m.clock = qEnd
@@ -254,14 +404,35 @@ func (m *Machine) runCore(c int, qEnd uint64) {
 
 // execOps executes thread t's operations on core c until the quantum ends,
 // the thread blocks, or it finishes. It reports whether the thread entered
-// a blocking wait.
+// a blocking wait. Ops are pulled from the thread's batch ring when the
+// program supports batching (one NextBatch call per chunk instead of one
+// interface call per op) and from Next otherwise.
 func (m *Machine) execOps(t *thread, c int, qEnd uint64) (blocked bool) {
 	pol := &m.cfg.Policy
 	for t.time < qEnd && !t.finished {
-		op := t.prog.Next(t.fb)
+		// Ops are read through a pointer into the ring (or a stack slot for
+		// unbatched programs) to avoid copying the Op struct per operation.
+		var opv trace.Op
+		var op *trace.Op
+		if t.rpos < t.rlen {
+			op = &t.ring[t.rpos]
+			t.rpos++
+		} else if t.bprog != nil {
+			t.rlen = t.bprog.NextBatch(t.ring, t.fb)
+			t.rpos = 1
+			op = &t.ring[0]
+			// Ops are counted at batch granularity; programs end their
+			// stream with KindEnd inside a batch, so on completed runs
+			// every counted op executes.
+			m.ops += uint64(t.rlen)
+		} else {
+			opv = t.prog.Next(t.fb)
+			op = &opv
+			m.ops++
+		}
 		switch op.Kind {
 		case trace.KindCompute:
-			t.time += m.cfg.CPU.ComputeCycles(uint64(op.N))
+			t.time += m.computeCycles(uint64(op.N))
 			t.ct.Instrs += uint64(op.N)
 			if op.Overhead {
 				t.ct.OverheadInstrs += uint64(op.N)

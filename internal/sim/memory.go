@@ -6,9 +6,9 @@ import "repro/internal/trace"
 // stalls to the thread and feeding both the estimator's accounting hardware
 // (sampled ATD, ORA-based memory interference) and the oracle (full-coverage
 // ATD, exact interference attribution).
-func (m *Machine) memAccess(t *thread, c int, op trace.Op) {
+func (m *Machine) memAccess(t *thread, c int, op *trace.Op) {
 	// Dispatch slots of the memory instruction itself.
-	t.time += m.cfg.CPU.ComputeCycles(uint64(op.N))
+	t.time += m.computeCycles(uint64(op.N))
 	isLoad := op.Kind == trace.KindLoad
 
 	out := m.hier.Access(c, op.Addr, !isLoad)
@@ -23,13 +23,20 @@ func (m *Machine) memAccess(t *thread, c int, op trace.Op) {
 
 	// The access reaches the shared LLC: update both tag directories. The
 	// hardware ATD observes every LLC access of its core (paper Section
-	// 4.1); only sampled sets are backed by state.
+	// 4.1); only sampled sets are backed by state. Both directories mirror
+	// the LLC's geometry, so the address is decomposed once and the same
+	// (set, tag) pair drives the estimator and the oracle walk.
 	t.ct.LLCAccesses++
-	estHit, sampled := m.atds[c].Access(op.Addr)
-	if sampled {
-		t.ct.SampledATDAccesses++
+	estHit, sampled, oraHit := false, false, false
+	if m.acct {
+		lineAddr := op.Addr >> m.llcLineShift
+		set, tag := int(lineAddr&m.llcSetMask), lineAddr>>m.llcSetBits
+		if m.atds[c].SampledSet(set) {
+			estHit, sampled = m.atds[c].AccessSetTag(set, tag)
+			t.ct.SampledATDAccesses++
+		}
+		oraHit, _ = m.oracleATDs[c].AccessSetTag(set, tag)
 	}
-	oraHit, _ := m.oracleATDs[c].Access(op.Addr)
 
 	if out.LLCHit {
 		stall := m.cfg.CPU.LLCHitStall

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Pool recycles Machines — and the multi-megabyte tag-array, ATD and
+// controller backings behind them — across runs of the same configuration,
+// so steady-state simulation (a sweep engine executing many cells, the
+// speedupd service under load) allocates nothing per simulated op and close
+// to nothing per run.
+//
+// Machines are held in one sync.Pool per configuration: idle machines are
+// dropped by the garbage collector under memory pressure, so a long-running
+// process sweeping many configurations is bounded by its live concurrency,
+// not by the number of configurations it has ever seen. Pool is safe for
+// concurrent use.
+type Pool struct {
+	mu    sync.Mutex
+	pools map[Config]*sync.Pool
+}
+
+// NewPool returns an empty Pool.
+func NewPool() *Pool {
+	return &Pool{pools: make(map[Config]*sync.Pool)}
+}
+
+func (p *Pool) pool(cfg Config) *sync.Pool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sp := p.pools[cfg]
+	if sp == nil {
+		sp = &sync.Pool{}
+		p.pools[cfg] = sp
+	}
+	return sp
+}
+
+// Run executes progs to completion on a pooled machine for cfg, applying
+// opts first, and returns the machine to the pool afterwards. Results are
+// identical to building a fresh machine with NewMachine: a reset machine is
+// behaviorally indistinguishable from a new one.
+func (p *Pool) Run(cfg Config, progs []trace.Program, opts ...Option) (Result, error) {
+	sp := p.pool(cfg)
+	m, _ := sp.Get().(*Machine)
+	if m == nil {
+		var err error
+		m, err = NewMachine(cfg, progs)
+		if err != nil {
+			return Result{}, err
+		}
+	} else if err := m.reset(progs); err != nil {
+		return Result{}, err
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	res, err := m.Run()
+	sp.Put(m)
+	return res, err
+}
+
+// defaultPool backs the package-level Run/RunSequential: every caller —
+// the exp sweep engine, the speedupd service, tests — shares the recycled
+// machines automatically.
+var defaultPool = NewPool()

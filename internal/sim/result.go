@@ -32,6 +32,11 @@ type Result struct {
 	// TotalInstrs and TotalOverheadInstrs aggregate instruction counts.
 	TotalInstrs         uint64
 	TotalOverheadInstrs uint64
+	// TotalOps counts the trace operations the machine consumed from its
+	// programs — the unit simulator throughput (ops/sec) is measured in.
+	// Counting happens at batch granularity; on completed runs every
+	// counted op was executed (program streams end inside their batch).
+	TotalOps uint64
 }
 
 // Stack assembles the estimated speedup stack of the run. If ts (the
@@ -53,10 +58,13 @@ func (r Result) EstimatedSpeedup() float64 {
 // result gathers counters from the machine after completion.
 func (m *Machine) result() Result {
 	r := Result{
-		Cores:      m.cfg.Cores,
-		Threads:    len(m.threads),
-		CacheStats: *m.hier.Stats(),
+		Cores:   m.cfg.Cores,
+		Threads: len(m.threads),
+		// Clone: the machine (and its live counter slices) is pooled and
+		// reused after this run; the Result must own its statistics.
+		CacheStats: m.hier.Stats().Clone(),
 		MemStats:   m.memc.Stats(),
+		TotalOps:   m.ops,
 	}
 	r.PerThread = make([]core.ThreadCounters, len(m.threads))
 	r.SchedStats = make([]sched.ThreadStats, len(m.threads))
@@ -89,16 +97,25 @@ func WithBarrier(id uint32, parties int) Option {
 	return func(m *Machine) { m.RegisterBarrier(id, parties) }
 }
 
-// Run builds a machine and executes it to completion.
+// WithoutAccounting disables the interference-accounting hardware (the
+// per-core ATD walks) for the run. Accounting never affects timing — the
+// directories only feed the per-thread interference counters — so Tp and
+// every substrate statistic are unchanged; only the ATD-derived counters
+// (sampled/oracle inter-thread hits and miss attributions) read zero. Use
+// it for runs whose accounting nobody consumes: the sequential reference
+// contributes only its execution time, and a single-core machine has no
+// inter-thread interference to account in the first place.
+func WithoutAccounting() Option {
+	return func(m *Machine) { m.acct = false }
+}
+
+// Run executes progs to completion on a machine for cfg. Machines (and the
+// multi-megabyte backing arrays inside them) are recycled through a
+// process-wide pool keyed by the full configuration, so repeated runs —
+// sweeps, service traffic, benchmarks — allocate almost nothing; results
+// are identical to building a fresh machine every time.
 func Run(cfg Config, progs []trace.Program, opts ...Option) (Result, error) {
-	m, err := NewMachine(cfg, progs)
-	if err != nil {
-		return Result{}, err
-	}
-	for _, o := range opts {
-		o(m)
-	}
-	return m.Run()
+	return defaultPool.Run(cfg, progs, opts...)
 }
 
 // RunSequential executes prog alone on a single-core machine with the same

@@ -63,5 +63,8 @@ func (r *RNG) Bool(p float64) bool {
 	if p >= 1 {
 		return true
 	}
-	return r.Float64() < p
+	// Same comparison as Float64() < p with the division replaced by a
+	// multiply: both sides are scaled by 2^53, which is exact for floats
+	// (a pure exponent adjustment), so the outcome is bit-identical.
+	return float64(r.Uint64()>>11) < p*(1<<53)
 }

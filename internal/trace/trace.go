@@ -115,6 +115,35 @@ type Program interface {
 	Next(fb Feedback) Op
 }
 
+// BatchProgram is the optional batching extension of Program: generators
+// that implement it hand the simulator whole chunks of their stream, paying
+// one dynamic dispatch per chunk instead of one per operation. The
+// simulator type-asserts for it at machine construction and falls back to
+// Next for plain Programs.
+//
+// The batching contract:
+//
+//   - The concatenation of the batches must be exactly the op sequence that
+//     repeated Next calls would produce: batching is a transport
+//     optimization, never a semantic one. In particular, adjacent Compute
+//     bursts must NOT be merged across op boundaries — the core model
+//     rounds each burst to dispatch-width cycle granularity
+//     (cpu.ComputeCycles), so merging two bursts is timing-visible.
+//   - NextBatch fills dst from the front and returns n, the number of ops
+//     written, with 1 <= n <= len(dst) (callers pass len(dst) >= 1).
+//   - fb carries the outcome of the last blocking op exactly as it would
+//     reach Next. A batch must therefore end immediately after any op whose
+//     outcome feeds back into the stream (KindPop: the program branches on
+//     Feedback.PopOK), because fresh feedback is only delivered at batch
+//     boundaries. Ops with no feedback (locks, barriers, pushes) may be
+//     followed by more ops in the same batch even though the simulator may
+//     block mid-batch; the buffered tail stays valid across the wait.
+//   - After a batch containing KindEnd, NextBatch is not called again.
+type BatchProgram interface {
+	Program
+	NextBatch(dst []Op, fb Feedback) int
+}
+
 // Compute returns a computation burst of n instructions.
 func Compute(n uint32) Op { return Op{Kind: KindCompute, N: n} }
 
@@ -169,6 +198,18 @@ func (p *SliceProgram) Next(Feedback) Op {
 	op := p.ops[p.pos]
 	p.pos++
 	return op
+}
+
+// NextBatch implements BatchProgram by copying the next chunk of the slice.
+// SliceProgram ignores feedback entirely, so batches need not break at pops.
+func (p *SliceProgram) NextBatch(dst []Op, _ Feedback) int {
+	if p.pos >= len(p.ops) {
+		dst[0] = End()
+		return 1
+	}
+	n := copy(dst, p.ops[p.pos:])
+	p.pos += n
+	return n
 }
 
 // FuncProgram adapts a plain function to the Program interface.

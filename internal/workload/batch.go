@@ -1,0 +1,33 @@
+package workload
+
+import "repro/internal/trace"
+
+// drainBatch is the shared trace.BatchProgram drain loop for generators
+// with no feedback sensitivity: it copies staged ops into dst, refilling
+// the staging queue until dst is full or the stream ends, and falls back
+// to a trailing End op exactly like the generators' Next methods do. The
+// pop-sensitive pipeline generator and the data-parallel generator (which
+// adds a direct-into-dst fast path) keep specialized loops; the contract
+// all of them implement is documented on trace.BatchProgram.
+func drainBatch(dst []trace.Op, queue *[]trace.Op, qpos *int, ended *bool, refill func()) int {
+	n := 0
+	for n < len(dst) {
+		if *qpos < len(*queue) {
+			c := copy(dst[n:], (*queue)[*qpos:])
+			*qpos += c
+			n += c
+			continue
+		}
+		if *ended {
+			break
+		}
+		*queue = (*queue)[:0]
+		*qpos = 0
+		refill()
+	}
+	if n == 0 {
+		dst[0] = trace.End()
+		n = 1
+	}
+	return n
+}

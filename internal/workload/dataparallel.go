@@ -28,9 +28,16 @@ type dpProgram struct {
 	line      int
 	sliceOff  int
 	sliceLen  int
-	csCounter int
 	sharedPos uint64
 	overhead  int // accumulated overhead instructions (x1000 fixed point)
+
+	// csEvery is the precomputed critical-section cadence (0 = no critical
+	// sections); csCycle mirrors csCounter % csEvery and pcCycle mirrors
+	// csCounter % 13 of the division-based original, advanced by cheap
+	// wrap-around increments on the per-access path.
+	csEvery int
+	csCycle int
+	pcCycle int
 
 	rng   *trace.RNG
 	queue []trace.Op
@@ -43,17 +50,34 @@ type dpProgram struct {
 // never depend on it.
 func (s *Spec) threadsHint() int { return 16 }
 
+// csCadence returns how many accesses separate critical sections (0 when
+// the spec emits none): CSPerThreadPerPhase per nominal thread-phase,
+// spread evenly over the access stream.
+func (s *Spec) csCadence(totalLines int) int {
+	if s.CSPerThreadPerPhase <= 0 || s.CSInstr <= 0 {
+		return 0
+	}
+	every := totalLines * s.SweepsPerPhase /
+		(s.CSPerThreadPerPhase * s.threadsHint())
+	if every < 1 {
+		every = 1
+	}
+	return every
+}
+
 // dataParallelPrograms builds one program per thread.
 func (s Spec) dataParallelPrograms(threads int) []trace.Program {
 	progs := make([]trace.Program, threads)
 	spec := s
+	totalLines := int(s.ArrayBytes / lineBytes)
 	for t := 0; t < threads; t++ {
 		progs[t] = &dpProgram{
 			s:          &spec,
 			tid:        t,
 			threads:    threads,
-			totalLines: int(s.ArrayBytes / lineBytes),
+			totalLines: totalLines,
 			shares:     workShares(threads, s.EffectiveParallelism),
+			csEvery:    spec.csCadence(totalLines),
 			rng:        trace.NewRNG(s.Seed ^ (uint64(t)+1)*0x9e3779b97f4a7c15),
 		}
 	}
@@ -63,13 +87,15 @@ func (s Spec) dataParallelPrograms(threads int) []trace.Program {
 // dataParallelSequential builds the single-threaded reference.
 func (s Spec) dataParallelSequential() trace.Program {
 	spec := s
+	totalLines := int(s.ArrayBytes / lineBytes)
 	return &dpProgram{
 		s:          &spec,
 		tid:        0,
 		threads:    1,
 		seq:        true,
-		totalLines: int(s.ArrayBytes / lineBytes),
+		totalLines: totalLines,
 		shares:     workShares(16, s.EffectiveParallelism),
+		csEvery:    spec.csCadence(totalLines),
 		rng:        trace.NewRNG(s.Seed ^ 0xABCDEF),
 	}
 }
@@ -91,8 +117,56 @@ func (p *dpProgram) Next(trace.Feedback) trace.Op {
 	}
 }
 
-// refill appends the ops of the next access (or phase transition) to the
-// queue.
+// dpMaxOpsPerAccess bounds what one emitAccessTo call can append: compute,
+// the memory op, a three-op critical section, and an overhead burst.
+const dpMaxOpsPerAccess = 6
+
+// NextBatch implements trace.BatchProgram: it emits the identical op
+// sequence Next would, writing in-slice access runs directly into dst (no
+// staging-queue copy) and draining the queue only for phase transitions.
+// Data-parallel programs never pop, so a batch only ends when dst is full
+// or the stream ends.
+func (p *dpProgram) NextBatch(dst []trace.Op, _ trace.Feedback) int {
+	n := 0
+	for n < len(dst) {
+		if p.qpos < len(p.queue) {
+			c := copy(dst[n:], p.queue[p.qpos:])
+			p.qpos += c
+			n += c
+			continue
+		}
+		if p.ended {
+			break
+		}
+		if p.sliceLen != 0 && p.line < p.sliceLen && len(dst)-n >= dpMaxOpsPerAccess {
+			// Fast path: emit the access straight into dst. The capacity
+			// check guarantees the bounded appends stay in place.
+			q := dst[n:n:len(dst)]
+			p.emitAccessTo(&q)
+			p.line++
+			n += len(q)
+			continue
+		}
+		p.queue = p.queue[:0]
+		p.qpos = 0
+		p.refill()
+	}
+	if n == 0 {
+		dst[0] = trace.End()
+		n = 1
+	}
+	return n
+}
+
+// refillRun bounds how many accesses one refill emits, keeping the op queue
+// small while amortizing the refill bookkeeping over a run of accesses.
+const refillRun = 64
+
+// refill appends the ops of the next run of accesses (or a phase
+// transition) to the queue. Emitting a bounded run per call instead of a
+// single access produces the identical op stream — the slice/sweep boundary
+// checks happen at exactly the same points — while paying the refill
+// dispatch once per run.
 func (p *dpProgram) refill() {
 	if p.sliceLen == 0 && !p.enterSlice() {
 		return
@@ -105,8 +179,14 @@ func (p *dpProgram) refill() {
 			return
 		}
 	}
-	p.emitAccess()
-	p.line++
+	n := p.sliceLen - p.line
+	if n > refillRun {
+		n = refillRun
+	}
+	for i := 0; i < n; i++ {
+		p.emitAccessTo(&p.queue)
+		p.line++
+	}
 }
 
 // enterSlice computes the current slice bounds; it returns false when the
@@ -158,12 +238,13 @@ func (p *dpProgram) advanceSlice() {
 	p.phase++
 }
 
-// emitAccess appends one access: compute, the memory operation, and any due
-// critical section or overhead burst.
-func (p *dpProgram) emitAccess() {
+// emitAccessTo appends one access to q: compute, the memory operation, and
+// any due critical section or overhead burst — at most dpMaxOpsPerAccess
+// ops.
+func (p *dpProgram) emitAccessTo(q *[]trace.Op) {
 	s := p.s
 	if s.InstrPerAccess > 0 {
-		p.queue = append(p.queue, trace.Compute(uint32(s.InstrPerAccess)))
+		*q = append(*q, trace.Compute(uint32(s.InstrPerAccess)))
 	}
 
 	var addr uint64
@@ -185,39 +266,37 @@ func (p *dpProgram) emitAccess() {
 		addr = privateBase + uint64(line)*lineBytes
 		store = p.rng.Bool(s.StoreFrac)
 	}
-	pc := 0x400000 + uint64(p.csCounter%13)*4
+	pc := 0x400000 + uint64(p.pcCycle)*4
+	p.pcCycle++
+	if p.pcCycle == 13 {
+		p.pcCycle = 0
+	}
 	if store {
-		p.queue = append(p.queue, trace.Store(addr, pc))
+		*q = append(*q, trace.Store(addr, pc))
 	} else {
-		p.queue = append(p.queue, trace.Load(addr, pc))
+		*q = append(*q, trace.Load(addr, pc))
 	}
 
-	// Critical sections: CSPerThreadPerPhase per nominal thread-phase,
-	// spread evenly over the access stream so the sequential reference
-	// executes the same body work without locks.
-	if s.CSPerThreadPerPhase > 0 && s.CSInstr > 0 {
-		every := p.totalLines * s.SweepsPerPhase /
-			(s.CSPerThreadPerPhase * s.threadsHint())
-		if every < 1 {
-			every = 1
-		}
-		p.csCounter++
-		if p.csCounter%every == 0 {
+	// Critical sections at the precomputed cadence, spread evenly over the
+	// access stream so the sequential reference executes the same body work
+	// without locks.
+	if p.csEvery > 0 {
+		p.csCycle++
+		if p.csCycle == p.csEvery {
+			p.csCycle = 0
 			lock := uint32(0)
 			if s.NumLocks > 1 {
 				lock = uint32(p.rng.Intn(s.NumLocks))
 			}
 			if p.seq {
-				p.queue = append(p.queue, trace.Compute(uint32(s.CSInstr)))
+				*q = append(*q, trace.Compute(uint32(s.CSInstr)))
 			} else {
-				p.queue = append(p.queue,
+				*q = append(*q,
 					trace.Lock(lock),
 					trace.Compute(uint32(s.CSInstr)),
 					trace.Unlock(lock))
 			}
 		}
-	} else {
-		p.csCounter++
 	}
 
 	// Parallelization overhead, accumulated in 1/1000 instruction units and
@@ -227,7 +306,7 @@ func (p *dpProgram) emitAccess() {
 		if p.overhead >= 256_000 {
 			burst := trace.Compute(uint32(p.overhead / 1000))
 			burst.Overhead = true
-			p.queue = append(p.queue, burst)
+			*q = append(*q, burst)
 			p.overhead = 0
 		}
 	}

@@ -211,6 +211,38 @@ func (p *plProgram) Next(fb trace.Feedback) trace.Op {
 	}
 }
 
+// NextBatch implements trace.BatchProgram. Pipeline programs branch on pop
+// feedback (plBody reads Feedback.PopOK), so a batch ends immediately after
+// every KindPop: the plBody refill then always runs as the first refill of
+// the following batch, with the simulator's fresh feedback — exactly the
+// value Next would have seen.
+func (p *plProgram) NextBatch(dst []trace.Op, fb trace.Feedback) int {
+	n := 0
+	for n < len(dst) {
+		if p.qpos < len(p.queue) {
+			op := p.queue[p.qpos]
+			p.qpos++
+			dst[n] = op
+			n++
+			if op.Kind == trace.KindPop {
+				return n
+			}
+			continue
+		}
+		if p.ended {
+			break
+		}
+		p.queue = p.queue[:0]
+		p.qpos = 0
+		p.refill(fb)
+	}
+	if n == 0 {
+		dst[0] = trace.End()
+		n = 1
+	}
+	return n
+}
+
 func (p *plProgram) refill(fb trace.Feedback) {
 	switch p.state {
 	case plProduce:
@@ -339,14 +371,25 @@ func (p *plSeqProgram) Next(trace.Feedback) trace.Op {
 		}
 		p.queue = p.queue[:0]
 		p.qpos = 0
-		if p.item >= p.s.Items {
-			p.queue = append(p.queue, trace.End())
-			p.ended = true
-			continue
-		}
-		// One item end-to-end: all stages' work back to back.
-		emitItemWork(&p.queue, p.rng, p.s, p.item,
-			p.s.ItemInstr, p.s.ItemAccesses, true)
-		p.item++
+		p.refill()
 	}
+}
+
+// refill appends the next item's end-to-end work (all stages back to back)
+// or the terminal op.
+func (p *plSeqProgram) refill() {
+	if p.item >= p.s.Items {
+		p.queue = append(p.queue, trace.End())
+		p.ended = true
+		return
+	}
+	emitItemWork(&p.queue, p.rng, p.s, p.item,
+		p.s.ItemInstr, p.s.ItemAccesses, true)
+	p.item++
+}
+
+// NextBatch implements trace.BatchProgram; the sequential reference never
+// pops, so batches only end when dst is full or the stream ends.
+func (p *plSeqProgram) NextBatch(dst []trace.Op, _ trace.Feedback) int {
+	return drainBatch(dst, &p.queue, &p.qpos, &p.ended, p.refill)
 }

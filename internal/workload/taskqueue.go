@@ -83,6 +83,13 @@ func (p *tqProgram) Next(trace.Feedback) trace.Op {
 	}
 }
 
+// NextBatch implements trace.BatchProgram: it drains whole refills into dst,
+// emitting the identical op sequence Next would. Task-queue programs never
+// pop, so a batch only ends when dst is full or the stream ends.
+func (p *tqProgram) NextBatch(dst []trace.Op, _ trace.Feedback) int {
+	return drainBatch(dst, &p.queue, &p.qpos, &p.ended, p.refill)
+}
+
 func (p *tqProgram) refill() {
 	s := p.s
 	if p.done >= p.itemCount {
@@ -131,14 +138,22 @@ func (p *tqProgram) refill() {
 		return
 	}
 
-	// Item body: ItemInstr compute interleaved with ItemAccesses accesses.
+	// Item body: ItemInstr compute interleaved with ItemAccesses accesses,
+	// emitted as a bounded run per refill (identical op stream, one refill
+	// dispatch per run).
 	chunk := s.ItemInstr / max(1, s.ItemAccesses)
-	if chunk > 0 {
-		p.queue = append(p.queue, trace.Compute(uint32(chunk)))
-	}
 	item := p.itemStart + p.done
-	p.queue = append(p.queue, p.itemAccess(item, p.access))
-	p.access++
+	n := s.ItemAccesses - p.access
+	if n > 64 {
+		n = 64
+	}
+	for i := 0; i < n; i++ {
+		if chunk > 0 {
+			p.queue = append(p.queue, trace.Compute(uint32(chunk)))
+		}
+		p.queue = append(p.queue, p.itemAccess(item, p.access))
+		p.access++
+	}
 	if p.access >= s.ItemAccesses {
 		p.finishItem()
 	}

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench.sh — regenerate the benchmark baseline.
+#
+# Runs the full bench_test.go suite and emits two artifacts:
+#
+#   BENCH_PR4.txt   raw `go test -bench` output (benchstat-compatible; CI
+#                   compares fresh runs against it, warn-only)
+#   BENCH_PR4.json  machine-readable trajectory: benchmark name -> metric
+#                   -> mean value (ns/op, B/op, allocs/op, sim-ops/sec, ...)
+#
+# Environment knobs:
+#   BENCHTIME  go -benchtime value   (default 1x: one full regeneration)
+#   COUNT      go -count value       (default 1; raise for stable means)
+#   BENCH      go -bench regexp      (default . : everything)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+COUNT="${COUNT:-1}"
+BENCH="${BENCH:-.}"
+OUT_TXT="${OUT_TXT:-BENCH_PR4.txt}"
+OUT_JSON="${OUT_JSON:-BENCH_PR4.json}"
+
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . \
+  | tee "$OUT_TXT"
+
+python3 - "$OUT_TXT" "$OUT_JSON" <<'EOF'
+import json, sys
+
+src, dst = sys.argv[1], sys.argv[2]
+bench = {}
+with open(src) as f:
+    for line in f:
+        parts = line.split()
+        if not parts or not parts[0].startswith("Benchmark"):
+            continue
+        # Benchmark lines: name, iterations, then (value, unit) pairs.
+        name = parts[0].split("-")[0]  # strip the -GOMAXPROCS suffix
+        metrics = bench.setdefault(name, {})
+        vals = parts[2:]
+        for v, unit in zip(vals[::2], vals[1::2]):
+            try:
+                val = float(v)
+            except ValueError:
+                continue
+            metrics.setdefault(unit, []).append(val)
+
+out = {
+    name: {unit: sum(vs) / len(vs) for unit, vs in metrics.items()}
+    for name, metrics in sorted(bench.items())
+}
+with open(dst, "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {dst} ({len(out)} benchmarks)")
+EOF
