@@ -12,12 +12,15 @@
 //
 //	experiments [flags] [fig1|fig4|fig5|fig6|fig7|fig8|fig9|validation|hwcost|ablation|all]
 //	experiments custom -spec mykernel.json
+//	experiments phases [-intervals 32] [-outdir DIR]
 //
 // The custom section is the bring-your-own-benchmark path: it sweeps the
 // workload described by -spec FILE (a JSON workload spec) across thread
 // counts on the same engine, machine and dedup pipeline as the paper's
-// figures. It only runs when named explicitly — "all" regenerates exactly
-// the paper's artifacts.
+// figures. The phases section measures the phase-heavy analogues
+// time-resolved (-intervals slices per run), printing interval tables and,
+// with -outdir, writing stacked-timeline SVGs. Both run only when named
+// explicitly — "all" regenerates exactly the paper's artifacts.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -44,7 +48,7 @@ type section struct {
 
 // onDemand marks sections that run only when named explicitly, never under
 // "all" — "all" regenerates exactly the paper's artifacts.
-var onDemand = map[string]bool{"custom": true}
+var onDemand = map[string]bool{"custom": true, "phases": true}
 
 // sections is the single registry the command-line validation and the
 // execution loop both read, in output order.
@@ -140,6 +144,32 @@ var sections = []section{
 		fmt.Print(exp.FormatQuantum(qr))
 		return nil
 	}},
+	{"phases", func(ctx context.Context, e *exp.Engine) error {
+		series, err := exp.Phases(ctx, e, 16, *intervals)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatPhases(series))
+		if *outDir == "" {
+			return nil
+		}
+		for _, ts := range series {
+			path := filepath.Join(*outDir, "timeline_"+ts.Label+".svg")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			err = stack.EncodeTimeSeriesSVG(f, ts)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		return nil
+	}},
 	{"custom", func(ctx context.Context, e *exp.Engine) error {
 		if *specPath == "" {
 			return errors.New("the custom section needs -spec FILE (a workload spec JSON)")
@@ -176,9 +206,14 @@ var sections = []section{
 	}},
 }
 
-// specPath feeds the custom section; it is a flag so it parses alongside
-// the shared -workers/-timeout/-q options.
-var specPath = flag.String("spec", "", "workload spec JSON for the custom section")
+// specPath feeds the custom section; intervals and outDir feed the phases
+// section. They are flags so they parse alongside the shared
+// -workers/-timeout/-q options.
+var (
+	specPath  = flag.String("spec", "", "workload spec JSON for the custom section")
+	intervals = flag.Int("intervals", 32, "interval count for the phases section")
+	outDir    = flag.String("outdir", "", "also write phases timelines as SVG files into DIR")
+)
 
 func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulation workers")

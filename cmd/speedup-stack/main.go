@@ -5,6 +5,7 @@
 //
 //	speedup-stack -bench cholesky -threads 16
 //	speedup-stack -bench radix_splash2 -threads 8 -format svg > radix.svg
+//	speedup-stack -bench bodytrack -threads 16 -intervals 32 -format svg > phases.svg
 //	speedup-stack -spec mykernel.json -threads 16
 //	speedup-stack -list
 //
@@ -13,6 +14,12 @@
 // section) instead of a registered analogue, and takes precedence over
 // -bench. -format selects the report encoding: text (ASCII bars, component
 // table and top bottlenecks), json, csv, or svg (a standalone chart).
+//
+// -intervals N switches to the time-resolved report: the run is divided
+// into N equal slices of its committed trace operations and each slice gets
+// its own component breakdown (the slices sum exactly to the aggregate).
+// text prints the interval table, json/csv the exact per-interval cycles,
+// and svg a stacked timeline instead of the aggregate bar chart.
 package main
 
 import (
@@ -28,6 +35,7 @@ func main() {
 	spec := flag.String("spec", "", "workload spec JSON file (overrides -bench)")
 	threads := flag.Int("threads", 16, "thread count (= core count)")
 	format := flag.String("format", "text", "output format: text|json|csv|svg")
+	intervals := flag.Int("intervals", 0, "time-resolve the stack into N intervals (0 = aggregate only)")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
 	flag.Parse()
 
@@ -42,6 +50,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *intervals > 0 {
+		ts, err := measureIntervals(*spec, *bench, *threads, *intervals)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := speedupstack.EncodeTimeSeries(os.Stdout, f, ts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	res, err := measure(*spec, *bench, *threads)
 	if err != nil {
@@ -67,13 +87,34 @@ func measure(specPath, bench string, threads int) (speedupstack.Result, error) {
 	if specPath == "" {
 		return speedupstack.Measure(bench, threads)
 	}
-	data, err := os.ReadFile(specPath)
+	w, err := loadSpec(specPath)
 	if err != nil {
 		return speedupstack.Result{}, err
 	}
+	return speedupstack.MeasureSpec(w, threads)
+}
+
+// measureIntervals is measure's time-resolved counterpart.
+func measureIntervals(specPath, bench string, threads, intervals int) (speedupstack.TimeSeries, error) {
+	if specPath == "" {
+		return speedupstack.MeasureIntervals(bench, threads, intervals)
+	}
+	w, err := loadSpec(specPath)
+	if err != nil {
+		return speedupstack.TimeSeries{}, err
+	}
+	return speedupstack.MeasureSpecIntervals(w, threads, intervals)
+}
+
+// loadSpec reads and parses a workload spec file.
+func loadSpec(path string) (speedupstack.Workload, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return speedupstack.Workload{}, err
+	}
 	w, err := speedupstack.ParseWorkload(data)
 	if err != nil {
-		return speedupstack.Result{}, fmt.Errorf("%s: %w", specPath, err)
+		return speedupstack.Workload{}, fmt.Errorf("%s: %w", path, err)
 	}
-	return speedupstack.MeasureSpec(w, threads)
+	return w, nil
 }

@@ -9,7 +9,10 @@
 // Endpoints (see internal/service):
 //
 //	GET  /v1/stack?bench=cholesky_splash2&threads=16&format=svg
+//	GET  /v1/stack/intervals?bench=bodytrack&threads=16&intervals=32
 //	POST /v1/sweep
+//	POST /v1/workloads/analyze
+//	POST /v1/workloads/validate
 //	GET  /v1/benchmarks
 //	GET  /healthz
 //	GET  /metrics

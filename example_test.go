@@ -54,3 +54,22 @@ func ExampleRender() {
 	// cholesky_splash2             N=16  est= 6.61 act= 4.38 |#######################+++mmmmmmmmmmmmmmssssssssssssssyyyyyyyyy |
 	// legend: #=base speedup  +=positive LLC  .=net negative LLC  m=memory  s=spinning  y=yielding  i=imbalance
 }
+
+// ExampleMeasureIntervals time-resolves a phase-structured run: each
+// interval carries exact integer-cycle components that sum to the
+// aggregate stack, so phase-local bottlenecks (here: barrier convergence
+// at the end of each of bodytrack's six phases) become visible.
+func ExampleMeasureIntervals() {
+	ts, err := speedupstack.MeasureIntervals("bodytrack_parsec_small", 16, 6)
+	if err != nil {
+		panic(err)
+	}
+	var sum speedupstack.IntervalComponents
+	for _, iv := range ts.Intervals {
+		sum = sum.Add(iv.Components)
+	}
+	fmt.Printf("%d intervals over %d ops; exact sum: %v\n",
+		len(ts.Intervals), ts.TotalOps, sum == ts.Aggregate)
+	// Output:
+	// 6 intervals over 411196 ops; exact sum: true
+}

@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stack"
+	"repro/internal/workload"
+)
+
+// Time-resolved measurement: MeasureIntervals runs a cell with the
+// simulator's interval accounting enabled and returns a stack.TimeSeries
+// next to the usual aggregate Outcome. It composes with everything the
+// engine already memoizes — the sequential reference and the aggregate
+// outcome come from the fingerprint-keyed memo (sizing the snapshot period
+// needs the run's total op count, which the aggregate provides), and the
+// interval run itself is memoized under the same key extended by the
+// interval count, with the same singleflight and LRU discipline as cells.
+
+// MaxIntervals bounds the interval count of a time-resolved measurement.
+// Each interval snapshot copies the per-thread counters, so the bound keeps
+// one request's snapshot memory small (≤ a few MB at 64 threads).
+const MaxIntervals = 4096
+
+// IntervalOutcome couples a cell's aggregate Outcome with its time-resolved
+// decomposition. Result is the interval-enabled run with the raw snapshots
+// dropped (they are folded into Series, and memoizing them twice would
+// double every cache entry); by the determinism contract it is identical
+// to the aggregate run, which runIntervals verifies.
+type IntervalOutcome struct {
+	Outcome
+	// Series is the interval-resolved speedup stack; its interval
+	// components sum exactly to Series.Aggregate.
+	Series stack.TimeSeries
+}
+
+// intervalKey extends a cell's identity with the requested interval count:
+// the same cell at two granularities is two memo entries (each snapshot set
+// is specific to its period), but both share the one memoized aggregate.
+type intervalKey struct {
+	cellKey
+	count int
+}
+
+// MeasureIntervals measures one cell time-resolved: the run is divided into
+// count equal slices of its committed trace operations and each slice gets
+// its own component breakdown. A nil req.Config means the engine's base
+// machine, like Do. The result is memoized and deduplicated exactly like a
+// cell, so repeated requests — any alias or inline spec with the same
+// fingerprint — cost one interval-enabled simulation.
+func (e *Engine) MeasureIntervals(ctx context.Context, req Request, count int) (IntervalOutcome, error) {
+	if count < 1 || count > MaxIntervals {
+		return IntervalOutcome{}, fmt.Errorf("exp: interval count must be in [1,%d], got %d", MaxIntervals, count)
+	}
+	cell := req.Cell.normalize()
+	if cell.Threads <= 0 {
+		return IntervalOutcome{}, fmt.Errorf("exp: non-positive thread count %d", cell.Threads)
+	}
+	b, err := resolveCell(req.Cell)
+	if err != nil {
+		return IntervalOutcome{}, err
+	}
+	cfg := e.base
+	if req.Config != nil {
+		cfg = *req.Config
+	}
+	ik := intervalKey{
+		cellKey: cellKey{cfg: cfg, fp: b.Spec.Fingerprint(), threads: cell.Threads, cores: cell.Cores},
+		count:   count,
+	}
+	out, err := claimOrWait(ctx, &e.mu, e.intervals, ik,
+		func() { e.stats.IntervalHits++ },
+		func() (IntervalOutcome, error) { return e.runIntervals(ctx, ik, b) })
+	e.touchInterval(ik)
+	if err != nil {
+		return IntervalOutcome{}, err
+	}
+	// Like Do: identity is the fingerprint, so a memoized outcome may carry
+	// the naming of whichever alias measured it first.
+	out.Bench = b
+	out.Series.Label = b.FullName()
+	return out, nil
+}
+
+// runIntervals executes the interval-enabled simulation for one unique
+// (cell, count) after securing the memoized aggregate outcome (which also
+// secures the sequential reference and supplies the total op count the
+// snapshot period is derived from).
+func (e *Engine) runIntervals(ctx context.Context, ik intervalKey, b workload.Benchmark) (IntervalOutcome, error) {
+	agg, err := e.cell(ctx, ik.cellKey, b)
+	if err != nil {
+		return IntervalOutcome{}, err
+	}
+	// ceil(TotalOps/count) boundaries yield at most count intervals; the
+	// completion snapshot merges into the last boundary when they coincide.
+	period := (agg.Result.TotalOps + uint64(ik.count) - 1) / uint64(ik.count)
+	if period == 0 {
+		period = 1
+	}
+
+	release, err := e.acquire(ctx)
+	if err != nil {
+		return IntervalOutcome{}, err
+	}
+	defer release()
+	if err := ctx.Err(); err != nil {
+		return IntervalOutcome{}, err
+	}
+	if e.hook != nil {
+		e.hook("interval", b.FullName(), ik.threads, ik.cores)
+	}
+	e.mu.Lock()
+	e.stats.IntervalRuns++
+	e.stats.InFlight++
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.stats.InFlight--
+		e.mu.Unlock()
+	}()
+
+	cfg := ik.cfg.WithCores(ik.cores)
+	cfg.Policy = b.Spec.TunePolicy(cfg.Policy)
+	progs, err := b.Spec.Parallel(ik.threads)
+	if err != nil {
+		return IntervalOutcome{}, err
+	}
+	opts := append(b.Spec.PipelineOptions(ik.threads), sim.WithIntervals(period))
+	res, err := sim.Run(cfg, progs, opts...)
+	if err != nil {
+		return IntervalOutcome{}, fmt.Errorf("%s x%d intervals: %w", b.FullName(), ik.threads, err)
+	}
+	e.mu.Lock()
+	e.stats.SimulatedOps += res.TotalOps
+	e.mu.Unlock()
+	// Interval accounting must be unobservable in the aggregate — snapshots
+	// only read counters. A divergence here is an engine bug, not a
+	// workload property, so fail loudly instead of returning skewed data.
+	if res.Tp != agg.Tp || res.TotalOps != agg.Result.TotalOps {
+		return IntervalOutcome{}, fmt.Errorf(
+			"exp: interval accounting perturbed %s x%d: Tp %d vs %d, ops %d vs %d",
+			b.FullName(), ik.threads, res.Tp, agg.Tp, res.TotalOps, agg.Result.TotalOps)
+	}
+	series, err := stack.NewTimeSeries(b.FullName(), res.Stack(agg.Ts),
+		res.PerThread, res.Intervals, res.IntervalEvery)
+	if err != nil {
+		return IntervalOutcome{}, err
+	}
+	// The raw snapshots are folded into the series; memoizing them again on
+	// the Result would double every cache entry's snapshot memory.
+	res.Intervals = nil
+	out := IntervalOutcome{Outcome: agg, Series: series}
+	out.Result = res
+	return out, nil
+}
+
+// touchInterval is touchCell for the interval memo. Interval entries are
+// heavier than cells (they carry the full per-interval series), so they
+// share the same bound but live on their own list — evicting an interval
+// series never costs an aggregate outcome its slot, and vice versa.
+func (e *Engine) touchInterval(ik intervalKey) {
+	touchLRU(&e.mu, e.intervals, e.cellLimit, e.ivLRU, e.ivPos, ik, &e.stats.IntervalEvictions)
+}

@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// runCounter tallies engine hook invocations by kind.
+type runCounter struct {
+	mu   sync.Mutex
+	runs map[string]int
+}
+
+func (rc *runCounter) hook(kind, bench string, threads, cores int) {
+	rc.mu.Lock()
+	rc.runs[kind]++
+	rc.mu.Unlock()
+}
+
+// TestMeasureIntervalsMemo pins the caching contract: the first
+// time-resolved measurement runs one sequential reference, one aggregate
+// cell and one interval-enabled simulation; repeating it is a pure memo
+// hit; changing only the interval count re-runs just the interval
+// simulation (the aggregate is a cell hit).
+func TestMeasureIntervalsMemo(t *testing.T) {
+	rc := &runCounter{runs: make(map[string]int)}
+	e := NewEngine(sim.Default(), WithRunHook(rc.hook))
+	ctx := context.Background()
+	req := Request{Cell: Cell{Bench: "swaptions_parsec_small", Threads: 2}}
+
+	out, err := e.MeasureIntervals(ctx, req, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Series.Intervals) == 0 || len(out.Series.Intervals) > 9 {
+		t.Fatalf("want ~8 intervals, got %d", len(out.Series.Intervals))
+	}
+	if got := rc.runs; got["seq"] != 1 || got["cell"] != 1 || got["interval"] != 1 {
+		t.Fatalf("first measurement ran %v, want one of each", got)
+	}
+
+	again, err := e.MeasureIntervals(ctx, req, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rc.runs; got["seq"] != 1 || got["cell"] != 1 || got["interval"] != 1 {
+		t.Fatalf("repeat measurement re-simulated: %v", got)
+	}
+	if st := e.Stats(); st.IntervalRuns != 1 || st.IntervalHits != 1 {
+		t.Fatalf("stats: %d runs / %d hits, want 1/1", st.IntervalRuns, st.IntervalHits)
+	}
+	if len(again.Series.Intervals) != len(out.Series.Intervals) {
+		t.Fatal("memoized series differs from the original")
+	}
+
+	if _, err := e.MeasureIntervals(ctx, req, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := rc.runs; got["interval"] != 2 || got["cell"] != 1 || got["seq"] != 1 {
+		t.Fatalf("count change should re-run only the interval sim: %v", got)
+	}
+}
+
+// TestMeasureIntervalsRelabel checks that fingerprint-equal workloads share
+// one interval simulation while each caller keeps its own naming, exactly
+// like Do's relabeling.
+func TestMeasureIntervalsRelabel(t *testing.T) {
+	b, ok := workload.ByName("swaptions_parsec_small")
+	if !ok {
+		t.Fatal("swaptions_parsec_small not registered")
+	}
+	alias := b.Spec
+	alias.Name, alias.Suite = "my-swaptions", ""
+
+	rc := &runCounter{runs: make(map[string]int)}
+	e := NewEngine(sim.Default(), WithRunHook(rc.hook))
+	ctx := context.Background()
+
+	reg, err := e.MeasureIntervals(ctx, Request{Cell: Cell{Bench: "swaptions_parsec_small", Threads: 2}}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inl, err := e.MeasureIntervals(ctx, Request{Cell: Cell{Spec: &alias, Threads: 2}}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.runs["interval"] != 1 {
+		t.Fatalf("fingerprint-equal specs ran %d interval sims, want 1", rc.runs["interval"])
+	}
+	if reg.Series.Label != "swaptions_parsec_small" || inl.Series.Label != "my-swaptions" {
+		t.Fatalf("labels not caller-resolved: %q / %q", reg.Series.Label, inl.Series.Label)
+	}
+	if inl.Series.Aggregate != reg.Series.Aggregate {
+		t.Fatal("shared simulation produced different aggregates")
+	}
+}
+
+// TestMeasureIntervalsBounds covers input validation.
+func TestMeasureIntervalsBounds(t *testing.T) {
+	e := NewEngine(sim.Default())
+	ctx := context.Background()
+	cell := Cell{Bench: "swaptions_parsec_small", Threads: 2}
+	if _, err := e.MeasureIntervals(ctx, Request{Cell: cell}, 0); err == nil {
+		t.Fatal("no error for zero interval count")
+	}
+	if _, err := e.MeasureIntervals(ctx, Request{Cell: cell}, MaxIntervals+1); err == nil {
+		t.Fatal("no error for excessive interval count")
+	}
+	if _, err := e.MeasureIntervals(ctx, Request{Cell: Cell{Bench: "nosuch", Threads: 2}}, 4); err == nil {
+		t.Fatal("no error for unknown benchmark")
+	}
+}

@@ -166,6 +166,12 @@ type Stats struct {
 	// bound (WithCellMemoLimit); an evicted cell re-simulates on its next
 	// request.
 	CellEvictions int
+	// IntervalRuns and IntervalHits are the same run/hit pair for
+	// time-resolved measurements (MeasureIntervals); IntervalEvictions
+	// counts interval series dropped by the LRU bound.
+	IntervalRuns      int
+	IntervalHits      int
+	IntervalEvictions int
 	// InFlight is a gauge: simulations executing right now.
 	InFlight int
 	// SimulatedOps is the cumulative count of trace operations executed by
@@ -189,13 +195,14 @@ type Engine struct {
 	// calls are serialized by the engine.
 	progress func(done, total int)
 	// hook, if set, observes every simulation actually executed (kind is
-	// "seq" or "cell"). Intended for tests and instrumentation.
+	// "seq", "cell" or "interval"). Intended for tests and instrumentation.
 	hook func(kind string, bench string, threads, cores int)
 
-	mu    sync.Mutex
-	seq   map[seqKey]*entry[uint64]
-	cells map[cellKey]*entry[Outcome]
-	stats Stats
+	mu        sync.Mutex
+	seq       map[seqKey]*entry[uint64]
+	cells     map[cellKey]*entry[Outcome]
+	intervals map[intervalKey]*entry[IntervalOutcome]
+	stats     Stats
 	// LRU bookkeeping for the cells memo, active when cellLimit > 0: lru
 	// holds cellKeys most-recently-used first, lruPos indexes it. Only
 	// completed outcomes are tracked and evicted; sequential references are
@@ -203,6 +210,10 @@ type Engine struct {
 	cellLimit int
 	lru       *list.List
 	lruPos    map[cellKey]*list.Element
+	// The interval memo keeps its own LRU under the same bound (see
+	// touchInterval).
+	ivLRU *list.List
+	ivPos map[intervalKey]*list.Element
 
 	progressMu          sync.Mutex
 	doneCells, totCells int
@@ -227,7 +238,7 @@ func WithProgress(f func(done, total int)) Option {
 }
 
 // WithRunHook installs a hook invoked once per simulation actually
-// executed, with kind "seq" or "cell". Memo hits do not fire it.
+// executed, with kind "seq", "cell" or "interval". Memo hits do not fire it.
 func WithRunHook(f func(kind, bench string, threads, cores int)) Option {
 	return func(e *Engine) { e.hook = f }
 }
@@ -247,12 +258,15 @@ func WithCellMemoLimit(n int) Option {
 // NewEngine returns an Engine executing against the given base machine.
 func NewEngine(cfg sim.Config, opts ...Option) *Engine {
 	e := &Engine{
-		base:   cfg,
-		sem:    make(chan struct{}, runtime.GOMAXPROCS(0)),
-		seq:    make(map[seqKey]*entry[uint64]),
-		cells:  make(map[cellKey]*entry[Outcome]),
-		lru:    list.New(),
-		lruPos: make(map[cellKey]*list.Element),
+		base:      cfg,
+		sem:       make(chan struct{}, runtime.GOMAXPROCS(0)),
+		seq:       make(map[seqKey]*entry[uint64]),
+		cells:     make(map[cellKey]*entry[Outcome]),
+		intervals: make(map[intervalKey]*entry[IntervalOutcome]),
+		lru:       list.New(),
+		lruPos:    make(map[cellKey]*list.Element),
+		ivLRU:     list.New(),
+		ivPos:     make(map[intervalKey]*list.Element),
 	}
 	for _, o := range opts {
 		o(e)
@@ -410,19 +424,28 @@ func (e *Engine) cell(ctx context.Context, k cellKey, b workload.Benchmark) (Out
 	return out, err
 }
 
-// touchCell records a use of k for LRU eviction and trims the cells memo to
-// the configured bound. Only completed entries are tracked — successes and
-// memoized real errors alike, so erroring cells cannot grow the memo past
-// the bound. Entries still being computed are never tracked or evicted:
-// their claimant owns the singleflight slot, and evicting it would detach
-// waiters from the in-flight result.
+// touchCell records a use of k for LRU eviction and trims the cells memo
+// to the configured bound.
 func (e *Engine) touchCell(k cellKey) {
-	if e.cellLimit <= 0 {
+	touchLRU(&e.mu, e.cells, e.cellLimit, e.lru, e.lruPos, k, &e.stats.CellEvictions)
+}
+
+// touchLRU is the LRU protocol shared by the cell and interval memos:
+// record a use of key k and trim the memo to limit completed entries. Only
+// completed entries are tracked — successes and memoized real errors
+// alike, so erroring keys cannot grow a memo past the bound. Entries still
+// being computed are never tracked or evicted: their claimant owns the
+// singleflight slot, and evicting it would detach waiters from the
+// in-flight result. mu must not be held by the caller; evictions is the
+// stats counter for the memo, updated under mu like the rest of Stats.
+func touchLRU[K comparable, V any](mu *sync.Mutex, m map[K]*entry[V], limit int,
+	l *list.List, pos map[K]*list.Element, k K, evictions *int) {
+	if limit <= 0 {
 		return
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ent, ok := e.cells[k]
+	mu.Lock()
+	defer mu.Unlock()
+	ent, ok := m[k]
 	if !ok {
 		return // canceled claim: nothing memoized
 	}
@@ -431,28 +454,28 @@ func (e *Engine) touchCell(k cellKey) {
 	default:
 		return // another claimant is mid-flight
 	}
-	if el, ok := e.lruPos[k]; ok {
-		e.lru.MoveToFront(el)
+	if el, ok := pos[k]; ok {
+		l.MoveToFront(el)
 	} else {
-		e.lruPos[k] = e.lru.PushFront(k)
+		pos[k] = l.PushFront(k)
 	}
-	for e.lru.Len() > e.cellLimit {
-		el := e.lru.Back()
-		bk := el.Value.(cellKey)
-		if ent, ok := e.cells[bk]; ok {
+	for l.Len() > limit {
+		el := l.Back()
+		bk := el.Value.(K)
+		if ent, ok := m[bk]; ok {
 			select {
 			case <-ent.done:
 			default:
-				// The oldest tracked cell is mid-recomputation (its prior
+				// The oldest tracked entry is mid-recomputation (its prior
 				// entry was canceled and a new claim is running); leave the
 				// memo one entry over rather than orphan the claim.
 				return
 			}
-			delete(e.cells, bk)
-			e.stats.CellEvictions++
+			delete(m, bk)
+			*evictions++
 		}
-		e.lru.Remove(el)
-		delete(e.lruPos, bk)
+		l.Remove(el)
+		delete(pos, bk)
 	}
 }
 

@@ -5,13 +5,21 @@
 // Endpoints:
 //
 //	GET  /v1/stack?bench=NAME&threads=N[&cores=M][&format=json|csv|svg|text]
+//	GET  /v1/stack/intervals?bench=NAME&threads=N[&intervals=K][&cores=M][&format=F]
 //	POST /v1/sweep        {"cells":[{"bench":"...","threads":N,"cores":M},
 //	                                {"spec":{...workload spec...},"threads":N}, ...]}
-//	POST /v1/workloads/analyze   {"spec":{...},"threads":N[,"cores":M]}
+//	POST /v1/workloads/analyze   {"spec":{...},"threads":N[,"cores":M][,"intervals":K]}
 //	POST /v1/workloads/validate  {...workload spec...}  (dry run, no simulation)
 //	GET  /v1/benchmarks   registered benchmark analogues
 //	GET  /healthz         liveness probe
 //	GET  /metrics         request counts, cache traffic, in-flight sims
+//
+// /v1/stack/intervals (and "intervals" on /v1/workloads/analyze) serves the
+// time-resolved form of a stack: the run divided into K equal slices of its
+// committed trace operations, each slice with its own exact integer-cycle
+// component breakdown (the slices sum to the aggregate; see
+// internal/stack.TimeSeries). The SVG format draws a stacked timeline
+// instead of the aggregate bar chart.
 //
 // Workloads are first-class: wherever a cell names a registered benchmark
 // ("bench") it can instead carry an inline workload spec ("spec", the JSON
@@ -80,6 +88,12 @@ const (
 	defaultCacheCells    = 4096
 	defaultSimTimeout    = 2 * time.Minute
 	defaultMaxSweepCells = 1024
+	// defaultIntervals is the slice count when an interval request does not
+	// name one; maxIntervals caps what one request may ask for (each
+	// interval snapshot copies per-thread counters, so the cap bounds the
+	// response and cache-entry size).
+	defaultIntervals = 32
+	maxIntervals     = 512
 )
 
 // Server is the speedupd HTTP service.
@@ -134,6 +148,7 @@ func New(opts Options) *Server {
 		responses:     make(map[int]uint64),
 	}
 	s.route("/v1/stack", http.MethodGet, s.handleStack)
+	s.route("/v1/stack/intervals", http.MethodGet, s.handleStackIntervals)
 	s.route("/v1/sweep", http.MethodPost, s.handleSweep)
 	s.route("/v1/workloads/analyze", http.MethodPost, s.handleAnalyze)
 	s.route("/v1/workloads/validate", http.MethodPost, s.handleValidate)
@@ -255,12 +270,34 @@ func checkCellBounds(c exp.Cell) (exp.Cell, error) {
 }
 
 // cellRequest is one cell of a POST body: either a registered benchmark
-// named by bench, or an inline workload spec.
+// named by bench, or an inline workload spec. Intervals asks for the
+// time-resolved decomposition; it is honored by /v1/workloads/analyze and
+// rejected in /v1/sweep batches (sweeps return aggregate rows).
 type cellRequest struct {
-	Bench   string          `json:"bench,omitempty"`
-	Spec    json.RawMessage `json:"spec,omitempty"`
-	Threads int             `json:"threads"`
-	Cores   int             `json:"cores,omitempty"`
+	Bench     string          `json:"bench,omitempty"`
+	Spec      json.RawMessage `json:"spec,omitempty"`
+	Threads   int             `json:"threads"`
+	Cores     int             `json:"cores,omitempty"`
+	Intervals int             `json:"intervals,omitempty"`
+}
+
+// parseIntervals validates an interval count. s is the query value (absent
+// when empty), body the decoded body field (absent when zero); an absent
+// count selects the default, an explicit one must be in range.
+func parseIntervals(s string, body int) (int, error) {
+	n := body
+	if s != "" {
+		var err error
+		if n, err = strconv.Atoi(s); err != nil {
+			return 0, fmt.Errorf("bad intervals %q: %v", s, err)
+		}
+	} else if n == 0 {
+		return defaultIntervals, nil
+	}
+	if n < 1 || n > maxIntervals {
+		return 0, fmt.Errorf("intervals must be in [1,%d], got %d", maxIntervals, n)
+	}
+	return n, nil
 }
 
 // decodeBody strictly decodes one JSON request body: size-capped, unknown
@@ -326,6 +363,34 @@ func (s *Server) sweep(ctx context.Context, cells []exp.Cell) ([]exp.Outcome, er
 	}
 }
 
+// measureIntervals runs one time-resolved cell on the engine with the same
+// detach-on-timeout discipline as sweep: the caller gets ctx.Err() promptly
+// while the simulation finishes in the background and lands in the interval
+// memo, so a retry is a hit.
+func (s *Server) measureIntervals(ctx context.Context, cell exp.Cell, count int) (exp.IntervalOutcome, error) {
+	type result struct {
+		out exp.IntervalOutcome
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		out, err := s.engine.MeasureIntervals(context.Background(), exp.Request{Cell: cell}, count)
+		ch <- result{out, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.out, r.err
+	case <-ctx.Done():
+		return exp.IntervalOutcome{}, ctx.Err()
+	}
+}
+
+// respondSeries encodes a time-resolved stack in the negotiated format.
+func (s *Server) respondSeries(w http.ResponseWriter, f stack.Format, out exp.IntervalOutcome) {
+	w.Header().Set("Content-Type", f.ContentType())
+	stack.EncodeTimeSeries(w, f, out.Series)
+}
+
 // respond encodes the outcomes in the negotiated format.
 func (s *Server) respond(w http.ResponseWriter, f stack.Format, outs []exp.Outcome) {
 	bars := make([]stack.Bar, len(outs))
@@ -379,6 +444,42 @@ func (s *Server) handleStack(w http.ResponseWriter, r *http.Request) {
 	s.respond(w, f, outs)
 }
 
+// handleStackIntervals serves GET /v1/stack/intervals: one cell's
+// time-resolved speedup stack, the run split into ?intervals=K equal slices
+// of its committed ops (default 32). The aggregate outcome and its
+// sequential reference share /v1/stack's cache; the interval series has its
+// own memo keyed by (cell, K).
+func (s *Server) handleStackIntervals(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f, err := stack.NegotiateFormat(q.Get("format"), r.Header.Get("Accept"), stack.FormatJSON)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	count, err := parseIntervals(q.Get("intervals"), 0)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cell, err := parseCell(q.Get("bench"), q.Get("threads"), q.Get("cores"))
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, workload.ErrUnknownBenchmark) {
+			code = http.StatusNotFound
+		}
+		s.httpError(w, code, "%v", err)
+		return
+	}
+	ctx, cancel := s.simContext(r)
+	defer cancel()
+	out, err := s.measureIntervals(ctx, cell, count)
+	if err != nil {
+		s.simError(w, ctx, err)
+		return
+	}
+	s.respondSeries(w, f, out)
+}
+
 // sweepRequest is the POST /v1/sweep body.
 type sweepRequest struct {
 	Cells []cellRequest `json:"cells"`
@@ -408,6 +509,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	cells := make([]exp.Cell, len(req.Cells))
 	for i, c := range req.Cells {
+		if c.Intervals != 0 {
+			s.httpError(w, http.StatusBadRequest,
+				"cell %d: sweeps return aggregate stacks; use /v1/stack/intervals or /v1/workloads/analyze for a time-resolved one", i)
+			return
+		}
 		cell, err := buildCell(c)
 		if err != nil {
 			s.httpError(w, http.StatusBadRequest, "cell %d: %v", i, err)
@@ -449,6 +555,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, "analyze takes a spec, not a bench name (use /v1/stack)")
 		return
 	}
+	count := 0
+	if req.Intervals != 0 {
+		if count, err = parseIntervals("", req.Intervals); err != nil {
+			s.httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
 	cell, err := buildCell(req)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, "%v", err)
@@ -456,6 +569,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.simContext(r)
 	defer cancel()
+	if count > 0 {
+		// Time-resolved analysis of the custom spec, sharing /v1/stack/
+		// intervals' memo and the aggregate's fingerprint-keyed cache.
+		out, err := s.measureIntervals(ctx, cell, count)
+		if err != nil {
+			s.simError(w, ctx, err)
+			return
+		}
+		s.respondSeries(w, f, out)
+		return
+	}
 	outs, err := s.sweep(ctx, []exp.Cell{cell})
 	if err != nil {
 		s.simError(w, ctx, err)
@@ -545,6 +669,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "speedupd_sim_seq_runs_total %d\n", st.SeqRuns)
 	fmt.Fprintf(w, "speedupd_sim_seq_memo_hits_total %d\n", st.SeqHits)
 	fmt.Fprintf(w, "speedupd_sim_cell_evictions_total %d\n", st.CellEvictions)
+	fmt.Fprintf(w, "speedupd_sim_interval_runs_total %d\n", st.IntervalRuns)
+	fmt.Fprintf(w, "speedupd_sim_interval_memo_hits_total %d\n", st.IntervalHits)
+	fmt.Fprintf(w, "speedupd_sim_interval_evictions_total %d\n", st.IntervalEvictions)
 	fmt.Fprintf(w, "speedupd_sim_inflight %d\n", st.InFlight)
 	hitRate := 0.0
 	if lookups := st.CellRuns + st.CellHits; lookups > 0 {

@@ -482,3 +482,110 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Error("listener still accepting after shutdown")
 	}
 }
+
+func TestStackIntervalsEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	w := get(t, s.Handler(), "/v1/stack/intervals?bench="+testBench+"&threads=2&intervals=6")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type %q", ct)
+	}
+	var rep stack.TimeSeriesReport
+	if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("decoding body: %v\n%s", err, w.Body)
+	}
+	if rep.Benchmark != testBench || rep.Threads != 2 {
+		t.Fatalf("report identifies %q x%d", rep.Benchmark, rep.Threads)
+	}
+	if n := len(rep.Intervals); n < 1 || n > 7 {
+		t.Fatalf("%d intervals for a target of 6", n)
+	}
+	sum := rep.Intervals[0].Cycles
+	for _, iv := range rep.Intervals[1:] {
+		sum = sum.Add(iv.Cycles)
+	}
+	if sum != rep.AggregateCycles {
+		t.Fatalf("served intervals do not sum to the aggregate: %+v vs %+v", sum, rep.AggregateCycles)
+	}
+
+	// The SVG format draws the stacked timeline.
+	w = get(t, s.Handler(), "/v1/stack/intervals?bench="+testBench+"&threads=2&intervals=6&format=svg")
+	if w.Code != http.StatusOK {
+		t.Fatalf("svg status %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "image/svg+xml" {
+		t.Errorf("svg content type %q", ct)
+	}
+	if !strings.Contains(w.Body.String(), "Speedup-stack timeline") {
+		t.Error("svg body is not a timeline chart")
+	}
+}
+
+func TestStackIntervalsCaching(t *testing.T) {
+	s, _ := newTestServer(t)
+	target := "/v1/stack/intervals?bench=" + testBench + "&threads=2&intervals=4"
+	first := get(t, s.Handler(), target)
+	if first.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", first.Code, first.Body)
+	}
+	second := get(t, s.Handler(), target)
+	if second.Body.String() != first.Body.String() {
+		t.Fatal("repeated interval request served different bytes")
+	}
+	st := s.Engine().Stats()
+	if st.IntervalRuns != 1 || st.IntervalHits != 1 {
+		t.Fatalf("interval memo: %d runs / %d hits, want 1/1", st.IntervalRuns, st.IntervalHits)
+	}
+}
+
+func TestStackIntervalsBadRequests(t *testing.T) {
+	s, _ := newTestServer(t)
+	for _, target := range []string{
+		"/v1/stack/intervals?bench=" + testBench,                               // missing threads
+		"/v1/stack/intervals?bench=" + testBench + "&threads=2&intervals=0",    // explicit zero
+		"/v1/stack/intervals?bench=" + testBench + "&threads=2&intervals=9999", // over the cap
+		"/v1/stack/intervals?bench=" + testBench + "&threads=2&intervals=x",    // not a number
+		"/v1/stack/intervals?bench=" + testBench + "&threads=2&format=nope",    // unknown format
+	} {
+		if w := get(t, s.Handler(), target); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", target, w.Code)
+		}
+	}
+	if w := get(t, s.Handler(), "/v1/stack/intervals?bench=nosuch&threads=2"); w.Code != http.StatusNotFound {
+		t.Errorf("unknown benchmark: status %d, want 404", w.Code)
+	}
+}
+
+func TestAnalyzeIntervals(t *testing.T) {
+	s, _ := newTestServer(t)
+	spec := `{"name":"iv-kernel","kind":"data_parallel","array_bytes":524288,` +
+		`"sweeps_per_phase":1,"phases":2,"instr_per_access":2500,"store_frac":0.1,"seed":11}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/workloads/analyze",
+		strings.NewReader(`{"threads":2,"intervals":5,"spec":`+spec+`}`))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var rep stack.TimeSeriesReport
+	if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("decoding body: %v\n%s", err, w.Body)
+	}
+	if rep.Benchmark != "iv-kernel" {
+		t.Fatalf("report identifies %q", rep.Benchmark)
+	}
+	if n := len(rep.Intervals); n < 1 || n > 6 {
+		t.Fatalf("%d intervals for a target of 5", n)
+	}
+
+	// Sweeps stay aggregate-only: an intervals field in a cell is a 400.
+	req = httptest.NewRequest(http.MethodPost, "/v1/sweep",
+		strings.NewReader(`{"cells":[{"bench":"`+testBench+`","threads":2,"intervals":4}]}`))
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("sweep with intervals: status %d, want 400", w.Code)
+	}
+}

@@ -105,6 +105,14 @@ type Machine struct {
 
 	// ops counts executed trace operations (Result.TotalOps).
 	ops uint64
+
+	// Interval accounting (see intervals.go): when snapEvery is non-zero
+	// the machine snapshots the cumulative per-thread counters into snaps
+	// every snapEvery committed ops; nextSnap is the next boundary.
+	// Snapshots never affect timing.
+	snapEvery uint64
+	nextSnap  uint64
+	snaps     []core.IntervalSnapshot
 }
 
 // batchSize is the per-thread op ring capacity for batching programs.
@@ -188,6 +196,7 @@ func (m *Machine) reset(progs []trace.Program) error {
 	}
 	m.clock, m.finished, m.ops = 0, 0, 0
 	m.acct = true
+	m.snapEvery, m.nextSnap, m.snaps = 0, 0, nil
 	m.hier.Reset()
 	m.memc.Reset()
 	for _, d := range m.atds {
@@ -425,10 +434,16 @@ func (m *Machine) execOps(t *thread, c int, qEnd uint64) (blocked bool) {
 			// stream with KindEnd inside a batch, so on completed runs
 			// every counted op executes.
 			m.ops += uint64(t.rlen)
+			if m.snapEvery != 0 && m.ops >= m.nextSnap {
+				m.snapshot()
+			}
 		} else {
 			opv = t.prog.Next(t.fb)
 			op = &opv
 			m.ops++
+			if m.snapEvery != 0 && m.ops >= m.nextSnap {
+				m.snapshot()
+			}
 		}
 		switch op.Kind {
 		case trace.KindCompute:

@@ -37,6 +37,13 @@ type Result struct {
 	// Counting happens at batch granularity; on completed runs every
 	// counted op was executed (program streams end inside their batch).
 	TotalOps uint64
+	// Intervals holds the cumulative accounting snapshots taken every
+	// IntervalEvery committed ops plus one at completion (WithIntervals);
+	// nil when interval accounting is disabled. Every other Result field is
+	// identical with or without it — snapshots never affect timing.
+	Intervals []core.IntervalSnapshot
+	// IntervalEvery is the snapshot period in committed ops (0 = disabled).
+	IntervalEvery uint64
 }
 
 // Stack assembles the estimated speedup stack of the run. If ts (the
@@ -80,6 +87,10 @@ func (m *Machine) result() Result {
 	r.Estimated = core.EstimateComponents(r.Tp, r.PerThread)
 	r.Oracle = core.OracleComponents(r.Tp, r.PerThread,
 		1/float64(m.cfg.CPU.DispatchWidth))
+	if m.snapEvery != 0 {
+		r.Intervals = m.finishIntervals(r.Tp)
+		r.IntervalEvery = m.snapEvery
+	}
 	return r
 }
 

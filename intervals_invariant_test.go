@@ -1,0 +1,123 @@
+package speedupstack
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestIntervalSumInvariant pins the tentpole guarantee of time-resolved
+// stacks across the whole registry: for every benchmark analogue at 1, 4
+// and 16 threads, the per-interval integer components sum *exactly* (int64
+// equality, no tolerance) to the series' aggregate, the intervals
+// partition the run's ops and cycles, and the integer aggregate tracks the
+// float estimator within its documented rounding bound.
+func TestIntervalSumInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-registry interval sweep is not a -short test")
+	}
+	const intervals = 8
+	e := exp.NewEngine(sim.Default(), exp.WithWorkers(runtime.NumCPU()))
+	ctx := context.Background()
+
+	type cellID struct {
+		bench   string
+		threads int
+	}
+	var cells []cellID
+	for _, name := range workload.Names() {
+		for _, n := range []int{1, 4, 16} {
+			cells = append(cells, cellID{name, n})
+		}
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Errorf(format, args...)
+	}
+	for _, c := range cells {
+		wg.Add(1)
+		go func(c cellID) {
+			defer wg.Done()
+			out, err := e.MeasureIntervals(ctx,
+				exp.Request{Cell: exp.Cell{Bench: c.bench, Threads: c.threads}}, intervals)
+			if err != nil {
+				fail("%s x%d: %v", c.bench, c.threads, err)
+				return
+			}
+			ts := out.Series
+			if len(ts.Intervals) < 1 || len(ts.Intervals) > intervals+1 {
+				fail("%s x%d: %d intervals for a target of %d", c.bench, c.threads, len(ts.Intervals), intervals)
+				return
+			}
+			// The exact-sum invariant.
+			var sum core.IntComponents
+			var prevOps, prevCycle uint64
+			for _, iv := range ts.Intervals {
+				sum = sum.Add(iv.Components)
+				if iv.StartOps != prevOps || iv.StartCycle != prevCycle {
+					fail("%s x%d: interval %d does not continue its predecessor", c.bench, c.threads, iv.Index)
+					return
+				}
+				prevOps, prevCycle = iv.EndOps, iv.EndCycle
+			}
+			if sum != ts.Aggregate {
+				fail("%s x%d: interval sum != aggregate\nsum  %+v\naggr %+v", c.bench, c.threads, sum, ts.Aggregate)
+				return
+			}
+			if prevOps != ts.TotalOps || prevCycle != ts.Tp {
+				fail("%s x%d: intervals cover (%d ops, %d cycles) of a (%d, %d) run",
+					c.bench, c.threads, prevOps, prevCycle, ts.TotalOps, ts.Tp)
+				return
+			}
+			// The integer aggregate tracks the float estimator: the only
+			// divergences are integer flooring (≤1 cycle per thread per
+			// component; positive interference compounds it with the average
+			// miss penalty, ≤ penalty+1 per thread).
+			fc := ts.Stack.Components
+			penalty := 0.0
+			for i := range out.Result.PerThread {
+				tc := &out.Result.PerThread[i]
+				if tc.LLCLoadMisses > 0 {
+					if p := float64(tc.StallLLCLoadMiss) / float64(tc.LLCLoadMisses); p > penalty {
+						penalty = p
+					}
+				}
+			}
+			n := float64(c.threads)
+			checks := []struct {
+				name     string
+				got      int64
+				want, ab float64
+			}{
+				{"NegLLC", ts.Aggregate.NegLLC, fc.NegLLC, n},
+				{"PosLLC", ts.Aggregate.PosLLC, fc.PosLLC, n * (penalty + 2)},
+				{"NegMem", ts.Aggregate.NegMem, fc.NegMem, n},
+				{"Spin", ts.Aggregate.Spin, fc.Spin, 0.5},
+				{"Yield", ts.Aggregate.Yield, fc.Yield, 0.5},
+				{"Imbalance", ts.Aggregate.Imbalance, fc.Imbalance, 0.5},
+			}
+			for _, ck := range checks {
+				if math.Abs(float64(ck.got)-ck.want) > ck.ab {
+					fail("%s x%d: integer %s = %d drifted from float %.2f (allowed ±%.1f)",
+						c.bench, c.threads, ck.name, ck.got, ck.want, ck.ab)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if st := e.Stats(); st.IntervalRuns != len(cells) {
+		t.Errorf("expected %d interval simulations, engine ran %d", len(cells), st.IntervalRuns)
+	}
+}

@@ -1,0 +1,173 @@
+// Command doccheck lints doc comments the way the revive "exported" rule
+// does, without pulling in a dependency: every exported top-level
+// identifier of the given package directories (functions, methods on
+// exported receivers, types, and each exported constant or variable) must
+// carry a doc comment, and the comment must start with the identifier it
+// documents (an optional leading article is accepted). Test files are
+// skipped.
+//
+// Usage:
+//
+//	go run ./scripts/doccheck DIR...
+//
+// Exit status is non-zero when any finding is reported; CI keeps the
+// audited packages warn-free.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck DIR...")
+		os.Exit(2)
+	}
+	findings := 0
+	for _, dir := range os.Args[1:] {
+		n, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		findings += n
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory and reports findings to stdout.
+func checkDir(dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	findings := 0
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		rel := p.Filename
+		if r, err := filepath.Rel(".", p.Filename); err == nil {
+			rel = r
+		}
+		fmt.Printf("%s:%d: %s\n", rel, p.Line, fmt.Sprintf(format, args...))
+		findings++
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			checkFile(f, report)
+		}
+	}
+	return findings, nil
+}
+
+// checkFile walks one file's top-level declarations.
+func checkFile(f *ast.File, report func(token.Pos, string, ...any)) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedReceiver(d) {
+				continue
+			}
+			checkComment(d.Doc, d.Name.Name, d.Pos(), kindOf(d), report)
+		case *ast.GenDecl:
+			checkGenDecl(d, report)
+		}
+	}
+}
+
+// exportedReceiver reports whether a method's receiver type (or a plain
+// function) is exported; methods on unexported types are internal API.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// checkGenDecl handles type/const/var blocks: a doc comment on the block
+// covers its specs, otherwise each exported spec needs its own.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, ...any)) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			doc := s.Doc
+			if doc == nil && len(d.Specs) == 1 {
+				doc = d.Doc
+			}
+			checkComment(doc, s.Name.Name, s.Pos(), "type", report)
+		case *ast.ValueSpec:
+			kind := "const"
+			if d.Tok == token.VAR {
+				kind = "var"
+			}
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if s.Doc == nil && s.Comment == nil && d.Doc == nil {
+					report(name.Pos(), "exported %s %s has no doc comment", kind, name.Name)
+					continue
+				}
+				// Grouped constants document the group; only a spec's own
+				// doc is held to the starts-with convention.
+				if s.Doc != nil && len(s.Names) == 1 {
+					checkComment(s.Doc, name.Name, name.Pos(), kind, report)
+				}
+			}
+		}
+	}
+}
+
+// checkComment enforces presence and the "comment starts with the name"
+// convention (a leading article is fine, and a deprecation notice is
+// exempt).
+func checkComment(doc *ast.CommentGroup, name string, pos token.Pos, kind string,
+	report func(token.Pos, string, ...any)) {
+	if doc == nil || strings.TrimSpace(doc.Text()) == "" {
+		report(pos, "exported %s %s has no doc comment", kind, name)
+		return
+	}
+	text := strings.TrimSpace(doc.Text())
+	for _, article := range []string{"A ", "An ", "The "} {
+		text = strings.TrimPrefix(text, article)
+	}
+	if !strings.HasPrefix(text, name) && !strings.HasPrefix(text, "Deprecated:") {
+		report(pos, "doc comment of exported %s %s should start with %q", kind, name, name)
+	}
+}
+
+// kindOf names a func declaration for findings.
+func kindOf(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}

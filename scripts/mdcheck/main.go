@@ -1,0 +1,149 @@
+// Command mdcheck is an offline markdown link checker for the repo's doc
+// set: every inline link in the given files is resolved, relative links
+// must point at an existing file (and, with a #fragment, at a heading
+// anchor that exists in the target, using GitHub's slug rules), and
+// intra-document fragments must match a local heading. External http(s)
+// and mailto links are syntax-checked only — CI has no business depending
+// on the network. Links inside fenced code blocks are ignored.
+//
+// Usage:
+//
+//	go run ./scripts/mdcheck FILE.md...
+//
+// Exit status is non-zero when any finding is reported; CI keeps the doc
+// set warn-free.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline links and images: [text](target) / ![alt](target).
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRE matches ATX headings.
+var headingRE = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdcheck FILE.md...")
+		os.Exit(2)
+	}
+	findings := 0
+	for _, path := range os.Args[1:] {
+		n, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdcheck: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		findings += n
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "mdcheck: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// checkFile reports broken links of one document to stdout.
+func checkFile(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	findings := 0
+	for _, l := range links(string(data)) {
+		if err := checkLink(path, l.target); err != nil {
+			fmt.Printf("%s:%d: %s: %v\n", path, l.line, l.target, err)
+			findings++
+		}
+	}
+	return findings, nil
+}
+
+// link is one extracted target with its source line.
+type link struct {
+	line   int
+	target string
+}
+
+// links extracts every link target outside fenced code blocks, in document
+// order (a line may carry several links).
+func links(doc string) []link {
+	var out []link
+	fenced := false
+	for i, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if fenced {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			out = append(out, link{line: i + 1, target: m[1]})
+		}
+	}
+	return out
+}
+
+// checkLink validates one target relative to the document's directory.
+func checkLink(docPath, target string) error {
+	switch {
+	case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return nil // external: syntax only
+	case strings.HasPrefix(target, "#"):
+		return checkAnchor(docPath, target[1:])
+	}
+	file, frag, _ := strings.Cut(target, "#")
+	resolved := filepath.Join(filepath.Dir(docPath), file)
+	if _, err := os.Stat(resolved); err != nil {
+		return fmt.Errorf("target does not exist")
+	}
+	if frag != "" {
+		return checkAnchor(resolved, frag)
+	}
+	return nil
+}
+
+// checkAnchor verifies that a #fragment names a heading of the target
+// markdown document.
+func checkAnchor(path, frag string) error {
+	if !strings.HasSuffix(path, ".md") {
+		return nil // fragments into non-markdown files are viewer-defined
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("anchor target unreadable: %v", err)
+	}
+	fenced := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if fenced {
+			continue
+		}
+		if m := headingRE.FindStringSubmatch(line); m != nil && slug(m[1]) == frag {
+			return nil
+		}
+	}
+	return fmt.Errorf("no heading with anchor %q", frag)
+}
+
+// slugRE strips everything GitHub drops from heading anchors.
+var slugRE = regexp.MustCompile(`[^\p{L}\p{N}\s_-]`)
+
+// slug converts a heading to its GitHub anchor: lowercase, punctuation
+// removed, spaces to hyphens.
+func slug(heading string) string {
+	// Inline code/emphasis markers render as text content.
+	heading = strings.NewReplacer("`", "", "*", "", "_", "_").Replace(heading)
+	heading = slugRE.ReplaceAllString(strings.ToLower(heading), "")
+	return strings.ReplaceAll(strings.TrimSpace(heading), " ", "-")
+}

@@ -188,6 +188,68 @@ func measureCells(ctx context.Context, cells []exp.Cell) ([]Result, error) {
 	return results, nil
 }
 
+// TimeSeries is the time-resolved form of one speedup stack: the aggregate
+// decomposition plus per-interval component breakdowns whose integer-cycle
+// values sum exactly to the aggregate. Produce one with MeasureIntervals or
+// MeasureSpecIntervals; render it with EncodeTimeSeries or
+// RenderTimelineSVG.
+type TimeSeries = stack.TimeSeries
+
+// TimeSeriesInterval is one time slice of a TimeSeries.
+type TimeSeriesInterval = stack.Interval
+
+// IntervalComponents are the exact integer-cycle stack components of one
+// TimeSeries interval (or of its aggregate).
+type IntervalComponents = core.IntComponents
+
+// MaxIntervals bounds the interval count of a time-resolved measurement.
+const MaxIntervals = exp.MaxIntervals
+
+// MeasureIntervals is Measure with time resolution: it runs the named
+// benchmark analogue at the given thread count, divides the run into
+// intervals equal slices of its committed trace operations, and returns the
+// per-interval speedup-stack decomposition next to the aggregate. The
+// aggregate stack (and its sequential reference) is shared with a plain
+// Measure of the same cell through the engine memo; interval accounting
+// itself never perturbs results (the simulator only snapshots counters).
+func MeasureIntervals(benchmark string, threads, intervals int) (TimeSeries, error) {
+	return measureIntervals(exp.Cell{Bench: benchmark, Threads: threads}, intervals)
+}
+
+// MeasureSpecIntervals is MeasureIntervals for a custom workload: the same
+// time-resolved measurement for a spec that need not be registered, keyed —
+// like every other cache layer — by the spec's canonical fingerprint.
+func MeasureSpecIntervals(w Workload, threads, intervals int) (TimeSeries, error) {
+	return measureIntervals(exp.Cell{Spec: &w, Threads: threads}, intervals)
+}
+
+// measureIntervals runs one time-resolved cell on a fresh default-machine
+// engine — the shared back end of MeasureIntervals and MeasureSpecIntervals.
+func measureIntervals(cell exp.Cell, intervals int) (TimeSeries, error) {
+	e := exp.NewEngine(sim.Default())
+	out, err := e.MeasureIntervals(context.Background(), exp.Request{Cell: cell}, intervals)
+	if err != nil {
+		return TimeSeries{}, err
+	}
+	return out.Series, nil
+}
+
+// EncodeTimeSeries writes a time-resolved stack to w in the requested
+// format: FormatText is a fixed-width interval table, FormatJSON one report
+// object (metadata, aggregate, exact per-interval cycles), FormatCSV one
+// record per interval plus a total record, and FormatSVG a standalone
+// stacked-timeline chart.
+func EncodeTimeSeries(w io.Writer, f Format, ts TimeSeries) error {
+	return stack.EncodeTimeSeries(w, f, ts)
+}
+
+// RenderTimelineSVG draws a time-resolved stack as a standalone SVG stacked
+// timeline: committed ops on the x axis, and per interval the fraction of
+// thread-cycle capacity lost to each scaling delimiter.
+func RenderTimelineSVG(ts TimeSeries) string {
+	return stack.TimelineSVG(ts)
+}
+
 // Render draws a result as an ASCII speedup stack with a legend.
 func Render(r Result) string {
 	return stack.Render([]stack.Bar{{Label: r.Benchmark, Stack: r.Stack}}, 64)
