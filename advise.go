@@ -1,0 +1,92 @@
+package speedupstack
+
+import (
+	"context"
+	"io"
+	"runtime"
+
+	"repro/internal/exp"
+	"repro/internal/scaling"
+	"repro/internal/sim"
+	"repro/internal/stack"
+)
+
+// Advice is the scaling advisor's answer for one workload: the measured
+// thread sweep, deterministic least-squares fits of Amdahl's law (serial
+// fraction σ) and the Universal Scalability Law (σ, κ), the
+// diminishing-returns thread count N* = sqrt((1−σ)/κ), a classification of
+// the sweep (linear / saturated / negative), a cross-check of the fitted
+// serial fraction against the speedup stack's serialization components, and
+// ranked workload-field-level recommendations.
+type Advice = scaling.Advice
+
+// AdvicePoint is one measured sweep sample.
+type AdvicePoint = scaling.Point
+
+// AdviceFit is one fitted scaling model (Amdahl or USL).
+type AdviceFit = scaling.Fit
+
+// AdviceRecommendation is one ranked, workload-field-level suggestion.
+type AdviceRecommendation = scaling.Recommendation
+
+// AdviceClass is the advisor's sweep classification.
+type AdviceClass = scaling.Class
+
+// The advisor's sweep classes.
+const (
+	AdviceLinear    = scaling.ClassLinear
+	AdviceSaturated = scaling.ClassSaturated
+	AdviceNegative  = scaling.ClassNegative
+)
+
+// Advisor sweep bounds: the USL fit needs a sweep top of at least
+// MinAdviseThreads, and the service-aligned ceiling is MaxAdviseThreads.
+const (
+	MinAdviseThreads = exp.MinAdviseThreads
+	MaxAdviseThreads = exp.MaxAdviseThreads
+)
+
+// Advise sweeps the named benchmark analogue from 1 to maxThreads (powers
+// of two plus the top, threads = cores at every point) on the default
+// machine, fits the scaling models, and returns the full advisor answer.
+func Advise(benchmark string, maxThreads int) (Advice, error) {
+	return AdviseContext(context.Background(), benchmark, maxThreads)
+}
+
+// AdviseContext is Advise with cancellation.
+func AdviseContext(ctx context.Context, benchmark string, maxThreads int) (Advice, error) {
+	return advise(ctx, exp.Cell{Bench: benchmark}, maxThreads)
+}
+
+// AdviseSpec is Advise for a custom workload: the same sweep, fits and
+// recommendations for a spec that need not be registered, sharing — like
+// every other entry point — the fingerprint-keyed simulation identity.
+func AdviseSpec(w Workload, maxThreads int) (Advice, error) {
+	return AdviseSpecContext(context.Background(), w, maxThreads)
+}
+
+// AdviseSpecContext is AdviseSpec with cancellation.
+func AdviseSpecContext(ctx context.Context, w Workload, maxThreads int) (Advice, error) {
+	return advise(ctx, exp.Cell{Spec: &w}, maxThreads)
+}
+
+// advise runs the advisor sweep on a fresh all-CPU default-machine engine —
+// the shared back end of Advise and AdviseSpec.
+func advise(ctx context.Context, cell exp.Cell, maxThreads int) (Advice, error) {
+	e := exp.NewEngine(sim.Default(), exp.WithWorkers(runtime.NumCPU()))
+	return e.Advise(ctx, exp.Request{Cell: cell}, maxThreads)
+}
+
+// EncodeAdvice writes an Advice to w in the requested format: FormatText is
+// the human-readable report, FormatJSON the Advice object, FormatCSV one
+// record per sweep point with the fitted values alongside, and FormatSVG a
+// standalone fit-curve chart overlaying the measured sweep with both fitted
+// models.
+func EncodeAdvice(w io.Writer, f Format, a Advice) error {
+	return scaling.Encode(w, f, a)
+}
+
+// RenderAdviceSVG draws the advisor's fit-curve chart as a standalone SVG.
+func RenderAdviceSVG(a Advice) string {
+	return stack.CurveSVG(scaling.Chart(a))
+}

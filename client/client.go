@@ -1,0 +1,322 @@
+// Package client is the Go client for the speedupd HTTP service: typed
+// wrappers over every /v1 endpoint, sharing the root package's wire types
+// (speedupstack.StackRow, speedupstack.Advice, ...) so a program can move
+// between the in-process library and the service without translating.
+//
+// Failures follow the service's uniform envelope: any 4xx/5xx response
+// decodes into an *APIError carrying the machine-readable code, the
+// human-readable message, and — on unknown-benchmark 404s — the
+// nearest-name suggestion:
+//
+//	rows, err := c.Stack(ctx, "choleski", 16, 0)
+//	var ae *client.APIError
+//	if errors.As(err, &ae) && ae.Suggestion != "" {
+//	    // retry with ae.Suggestion ("cholesky")
+//	}
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	speedupstack "repro"
+)
+
+// Client talks to one speedupd server. The zero value is not usable; build
+// one with New.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient is the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New builds a Client for the server at baseURL (scheme and host, no
+// trailing slash required).
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// APIError is one failed request: the HTTP status plus the service's error
+// envelope. Responses that are not a JSON envelope (a plain text error
+// line, a proxy page) still produce an APIError with the body as Message
+// and an empty Code.
+type APIError struct {
+	StatusCode int
+	// Code is the stable machine-readable identifier ("invalid_argument",
+	// "unknown_benchmark", "unknown_parameter", ...).
+	Code    string
+	Message string
+	// Suggestion is the machine-readable hint, when the service has one —
+	// the nearest registered benchmark name on a 404.
+	Suggestion string
+}
+
+// Error renders the failure with its code and status for logs.
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("speedupd: %s (%s, HTTP %d)", e.Message, e.Code, e.StatusCode)
+	}
+	return fmt.Sprintf("speedupd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// SweepCell is one cell of a Sweep batch: a registered benchmark by name,
+// or an inline workload spec (exactly one of Bench and Spec).
+type SweepCell struct {
+	Bench   string                 `json:"bench,omitempty"`
+	Spec    *speedupstack.Workload `json:"spec,omitempty"`
+	Threads int                    `json:"threads"`
+	Cores   int                    `json:"cores,omitempty"`
+}
+
+// ValidateResult is the answer of Validate: a dry run of the spec pipeline.
+// Valid=false comes with the actionable validation error; Valid=true with
+// the canonical spec and its fingerprint (the cache key).
+type ValidateResult struct {
+	Valid       bool                   `json:"valid"`
+	Error       string                 `json:"error,omitempty"`
+	Fingerprint string                 `json:"fingerprint,omitempty"`
+	Name        string                 `json:"name,omitempty"`
+	Canonical   *speedupstack.Workload `json:"canonical,omitempty"`
+}
+
+// Benchmarks lists the registered benchmark analogues.
+func (c *Client) Benchmarks(ctx context.Context) ([]string, error) {
+	var resp struct {
+		Benchmarks []string `json:"benchmarks"`
+	}
+	if err := c.getJSON(ctx, "/v1/benchmarks", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Benchmarks, nil
+}
+
+// Stack measures one (benchmark, threads[, cores]) cell. cores 0 means
+// cores = threads (the paper's pairing).
+func (c *Client) Stack(ctx context.Context, bench string, threads, cores int) (speedupstack.StackRow, error) {
+	q := url.Values{"bench": {bench}, "threads": {strconv.Itoa(threads)}}
+	if cores != 0 {
+		q.Set("cores", strconv.Itoa(cores))
+	}
+	var rows []speedupstack.StackRow
+	if err := c.getJSON(ctx, "/v1/stack", q, &rows); err != nil {
+		return speedupstack.StackRow{}, err
+	}
+	if len(rows) != 1 {
+		return speedupstack.StackRow{}, fmt.Errorf("speedupd: %d rows for one cell", len(rows))
+	}
+	return rows[0], nil
+}
+
+// StackIntervals measures one cell time-resolved: the run split into
+// intervals equal slices (0 means the server default).
+func (c *Client) StackIntervals(ctx context.Context, bench string, threads, cores, intervals int) (speedupstack.TimeSeriesReport, error) {
+	q := url.Values{"bench": {bench}, "threads": {strconv.Itoa(threads)}}
+	if cores != 0 {
+		q.Set("cores", strconv.Itoa(cores))
+	}
+	if intervals != 0 {
+		q.Set("intervals", strconv.Itoa(intervals))
+	}
+	var rep speedupstack.TimeSeriesReport
+	err := c.getJSON(ctx, "/v1/stack/intervals", q, &rep)
+	return rep, err
+}
+
+// Sweep measures a batch of cells in one engine pass, deduplicated against
+// each other and the server's cache.
+func (c *Client) Sweep(ctx context.Context, cells []SweepCell) ([]speedupstack.StackRow, error) {
+	var rows []speedupstack.StackRow
+	err := c.postJSON(ctx, "/v1/sweep", map[string]any{"cells": cells}, &rows)
+	return rows, err
+}
+
+// Analyze measures one custom workload spec end to end.
+func (c *Client) Analyze(ctx context.Context, spec speedupstack.Workload, threads, cores int) (speedupstack.StackRow, error) {
+	body := map[string]any{"spec": spec, "threads": threads}
+	if cores != 0 {
+		body["cores"] = cores
+	}
+	var rows []speedupstack.StackRow
+	if err := c.postJSON(ctx, "/v1/workloads/analyze", body, &rows); err != nil {
+		return speedupstack.StackRow{}, err
+	}
+	if len(rows) != 1 {
+		return speedupstack.StackRow{}, fmt.Errorf("speedupd: %d rows for one spec", len(rows))
+	}
+	return rows[0], nil
+}
+
+// AnalyzeIntervals is Analyze time-resolved.
+func (c *Client) AnalyzeIntervals(ctx context.Context, spec speedupstack.Workload, threads, cores, intervals int) (speedupstack.TimeSeriesReport, error) {
+	body := map[string]any{"spec": spec, "threads": threads, "intervals": intervals}
+	if cores != 0 {
+		body["cores"] = cores
+	}
+	var rep speedupstack.TimeSeriesReport
+	err := c.postJSON(ctx, "/v1/workloads/analyze", body, &rep)
+	return rep, err
+}
+
+// Validate dry-runs the spec pipeline on raw spec JSON without simulating.
+// An invalid spec is a clean ValidateResult{Valid: false, Error: ...}, not
+// an APIError.
+func (c *Client) Validate(ctx context.Context, specJSON []byte) (ValidateResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/workloads/validate", bytes.NewReader(specJSON))
+	if err != nil {
+		return ValidateResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var resp ValidateResult
+	err = c.do(req, &resp)
+	return resp, err
+}
+
+// Advise runs the scaling advisor: a memoized thread sweep up to maxThreads
+// (0 means the server default, 16), Amdahl and USL fits, the classification,
+// the serial-fraction cross-check and ranked recommendations.
+func (c *Client) Advise(ctx context.Context, bench string, maxThreads int) (speedupstack.Advice, error) {
+	q := url.Values{"bench": {bench}}
+	if maxThreads != 0 {
+		q.Set("max_threads", strconv.Itoa(maxThreads))
+	}
+	var a speedupstack.Advice
+	err := c.getJSON(ctx, "/v1/advise", q, &a)
+	return a, err
+}
+
+// Healthz checks the liveness probe.
+func (c *Client) Healthz(ctx context.Context) error {
+	body, _, err := c.Raw(ctx, "/healthz", nil, "")
+	if err != nil {
+		return err
+	}
+	if got := strings.TrimSpace(string(body)); got != "ok" {
+		return fmt.Errorf("speedupd: healthz answered %q", got)
+	}
+	return nil
+}
+
+// Metrics fetches the Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	body, _, err := c.Raw(ctx, "/metrics", nil, "")
+	return string(body), err
+}
+
+// Raw performs one GET and returns the raw body and its Content-Type — the
+// escape hatch for non-JSON formats (?format=text|csv|svg). Error statuses
+// still decode into *APIError.
+func (c *Client) Raw(ctx context.Context, path string, query url.Values, accept string) ([]byte, string, error) {
+	target := c.BaseURL + path
+	if len(query) > 0 {
+		target += "?" + query.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode >= 400 {
+		return nil, "", decodeAPIError(resp.StatusCode, body)
+	}
+	return body, resp.Header.Get("Content-Type"), nil
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// getJSON GETs path and decodes the JSON answer into v.
+func (c *Client) getJSON(ctx context.Context, path string, query url.Values, v any) error {
+	target := c.BaseURL + path
+	if len(query) > 0 {
+		target += "?" + query.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, v)
+}
+
+// postJSON POSTs body as JSON to path and decodes the answer into v.
+func (c *Client) postJSON(ctx context.Context, path string, body, v any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, v)
+}
+
+// do runs one request, mapping error statuses to *APIError and decoding a
+// success into v.
+func (c *Client) do(req *http.Request, v any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return decodeAPIError(resp.StatusCode, body)
+	}
+	if v == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("speedupd: decoding response: %v", err)
+	}
+	return nil
+}
+
+// decodeAPIError lifts an error response into *APIError: the structured
+// envelope when the body is one, the raw body as the message otherwise
+// (text-format errors, intermediaries).
+func decodeAPIError(status int, body []byte) *APIError {
+	var env struct {
+		Error struct {
+			Code       string `json:"code"`
+			Message    string `json:"message"`
+			Suggestion string `json:"suggestion"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Message != "" {
+		return &APIError{StatusCode: status, Code: env.Error.Code,
+			Message: env.Error.Message, Suggestion: env.Error.Suggestion}
+	}
+	msg := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(string(body)), "error:"))
+	if msg == "" {
+		msg = http.StatusText(status)
+	}
+	return &APIError{StatusCode: status, Message: strings.TrimSpace(msg)}
+}

@@ -1,0 +1,155 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	speedupstack "repro"
+	"repro/internal/exp"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+const testBench = "blackscholes_parsec_small"
+
+// newTestClient serves a real service over a loopback listener, so the
+// client is exercised through the full HTTP stack.
+func newTestClient(t *testing.T) *Client {
+	t.Helper()
+	e := exp.NewEngine(sim.Default(), exp.WithWorkers(2))
+	srv := httptest.NewServer(service.New(service.Options{Engine: e}).Handler())
+	t.Cleanup(srv.Close)
+	return New(srv.URL)
+}
+
+func TestClientStackAndBenchmarks(t *testing.T) {
+	c := newTestClient(t)
+	ctx := context.Background()
+
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	names, err := c.Benchmarks(ctx)
+	if err != nil {
+		t.Fatalf("benchmarks: %v", err)
+	}
+	if len(names) < 20 {
+		t.Errorf("only %d benchmarks", len(names))
+	}
+
+	row, err := c.Stack(ctx, testBench, 2, 0)
+	if err != nil {
+		t.Fatalf("stack: %v", err)
+	}
+	if row.Benchmark != testBench || row.Threads != 2 || row.Actual <= 0 {
+		t.Errorf("unexpected row: %+v", row)
+	}
+
+	rep, err := c.StackIntervals(ctx, testBench, 2, 0, 4)
+	if err != nil {
+		t.Fatalf("intervals: %v", err)
+	}
+	if rep.Benchmark != testBench || len(rep.Intervals) == 0 {
+		t.Errorf("unexpected report: %+v", rep)
+	}
+
+	rows, err := c.Sweep(ctx, []SweepCell{
+		{Bench: testBench, Threads: 2},
+		{Bench: "swaptions", Threads: 2},
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(rows) != 2 || rows[1].Benchmark != "swaptions_parsec_medium" {
+		t.Errorf("unexpected sweep rows: %+v", rows)
+	}
+}
+
+func TestClientAnalyzeAndValidate(t *testing.T) {
+	c := newTestClient(t)
+	ctx := context.Background()
+	spec := speedupstack.Workload{
+		Name: "client-kernel", Kind: speedupstack.WorkloadDataParallel,
+		ArrayBytes: 524288, SweepsPerPhase: 1, Phases: 1,
+		InstrPerAccess: 2500, StoreFrac: 0.1, Seed: 7,
+	}
+	row, err := c.Analyze(ctx, spec, 2, 0)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if row.Benchmark != "client-kernel" || row.Actual <= 0 {
+		t.Errorf("unexpected row: %+v", row)
+	}
+
+	v, err := c.Validate(ctx, []byte(`{"name":"x","kind":"data_parallel","array_bytes":524288,"sweeps_per_phase":1,"phases":1}`))
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if !v.Valid || len(v.Fingerprint) != 64 || v.Canonical == nil {
+		t.Errorf("unexpected validate result: %+v", v)
+	}
+	v, err = c.Validate(ctx, []byte(`{"name":"x","kind":"data_parallel"}`))
+	if err != nil {
+		t.Fatalf("validate invalid spec: %v", err)
+	}
+	if v.Valid || !strings.Contains(v.Error, "array_bytes") {
+		t.Errorf("invalid spec not reported: %+v", v)
+	}
+}
+
+func TestClientAdvise(t *testing.T) {
+	c := newTestClient(t)
+	a, err := c.Advise(context.Background(), testBench, 4)
+	if err != nil {
+		t.Fatalf("advise: %v", err)
+	}
+	if a.Benchmark != testBench || a.MaxThreads != 4 || len(a.Points) != 3 || a.Class == "" {
+		t.Errorf("unexpected advice: %+v", a)
+	}
+
+	// The Raw escape hatch serves the negotiated text report.
+	body, ct, err := c.Raw(context.Background(), "/v1/advise",
+		url.Values{"bench": {testBench}, "max_threads": {"4"}, "format": {"text"}}, "")
+	if err != nil {
+		t.Fatalf("raw advise: %v", err)
+	}
+	if !strings.HasPrefix(ct, "text/plain") || !strings.Contains(string(body), "amdahl") {
+		t.Errorf("text advise: content type %q, body %.60q", ct, string(body))
+	}
+}
+
+func TestClientAPIError(t *testing.T) {
+	c := newTestClient(t)
+	ctx := context.Background()
+
+	_, err := c.Stack(ctx, "choleski", 2, 0)
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error is %T (%v), want *APIError", err, err)
+	}
+	if ae.StatusCode != 404 || ae.Code != "unknown_benchmark" || ae.Suggestion != "cholesky" {
+		t.Errorf("unexpected APIError: %+v", ae)
+	}
+	if !strings.Contains(ae.Error(), "unknown_benchmark") {
+		t.Errorf("Error() = %q", ae.Error())
+	}
+
+	_, err = c.Advise(ctx, testBench, 2)
+	if !errors.As(err, &ae) || ae.StatusCode != 400 || ae.Code != "invalid_argument" {
+		t.Errorf("bad max_threads: %v", err)
+	}
+
+	// A plain-text error body still decodes into an APIError.
+	_, _, err = c.Raw(ctx, "/v1/stack",
+		url.Values{"bench": {testBench}, "threads": {"zero"}, "format": {"text"}}, "")
+	if !errors.As(err, &ae) {
+		t.Fatalf("text error is %T, want *APIError", err)
+	}
+	if ae.Code != "" || !strings.Contains(ae.Message, "threads") {
+		t.Errorf("text error: %+v", ae)
+	}
+}

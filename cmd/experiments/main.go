@@ -13,14 +13,19 @@
 //	experiments [flags] [fig1|fig4|fig5|fig6|fig7|fig8|fig9|validation|hwcost|ablation|all]
 //	experiments custom -spec mykernel.json
 //	experiments phases [-intervals 32] [-outdir DIR]
+//	experiments advise [-max-threads 16]
 //
 // The custom section is the bring-your-own-benchmark path: it sweeps the
 // workload described by -spec FILE (a JSON workload spec) across thread
 // counts on the same engine, machine and dedup pipeline as the paper's
 // figures. The phases section measures the phase-heavy analogues
 // time-resolved (-intervals slices per run), printing interval tables and,
-// with -outdir, writing stacked-timeline SVGs. Both run only when named
-// explicitly — "all" regenerates exactly the paper's artifacts.
+// with -outdir, writing stacked-timeline SVGs. The advise section runs the
+// scaling advisor (internal/scaling) over every registered analogue:
+// Amdahl/USL fits of a 1..-max-threads sweep, the classification, the
+// serial-fraction cross-check against the stack, and each benchmark's top
+// recommendation. All three run only when named explicitly — "all"
+// regenerates exactly the paper's artifacts.
 package main
 
 import (
@@ -48,7 +53,7 @@ type section struct {
 
 // onDemand marks sections that run only when named explicitly, never under
 // "all" — "all" regenerates exactly the paper's artifacts.
-var onDemand = map[string]bool{"custom": true, "phases": true}
+var onDemand = map[string]bool{"custom": true, "phases": true, "advise": true}
 
 // sections is the single registry the command-line validation and the
 // execution loop both read, in output order.
@@ -204,15 +209,50 @@ var sections = []section{
 		fmt.Print(stack.Table(bars))
 		return nil
 	}},
+	{"advise", func(ctx context.Context, e *exp.Engine) error {
+		names := workload.Names()
+		fmt.Printf("scaling advisor, sweep 1..%d (powers of two), %d analogues\n\n",
+			*maxThreads, len(names))
+		fmt.Printf("%-26s %-10s %7s %9s %6s %6s %-10s %s\n",
+			"benchmark", "class", "sigma", "kappa", "n*", "agree", "bottleneck", "top recommendation")
+		for _, name := range names {
+			a, err := e.Advise(ctx, exp.Request{Cell: exp.Cell{Bench: name}}, *maxThreads)
+			if err != nil {
+				return err
+			}
+			nstar := "-"
+			if a.NStar > 0 {
+				nstar = fmt.Sprintf("%.1f", a.NStar)
+			}
+			agree := "yes"
+			if !a.SigmaAgrees {
+				agree = "NO"
+			}
+			bottleneck, top := "-", "-"
+			if a.Bottleneck != "" {
+				bottleneck = a.Bottleneck
+			}
+			if len(a.Recommendations) > 0 {
+				r := a.Recommendations[0]
+				if top = r.Field; top == "" {
+					top = r.Action
+				}
+			}
+			fmt.Printf("%-26s %-10s %7.4f %9.6f %6s %6s %-10s %s\n",
+				name, a.Class, a.USL.Sigma, a.USL.Kappa, nstar, agree, bottleneck, top)
+		}
+		return nil
+	}},
 }
 
 // specPath feeds the custom section; intervals and outDir feed the phases
-// section. They are flags so they parse alongside the shared
-// -workers/-timeout/-q options.
+// section; maxThreads feeds the advise section. They are flags so they
+// parse alongside the shared -workers/-timeout/-q options.
 var (
-	specPath  = flag.String("spec", "", "workload spec JSON for the custom section")
-	intervals = flag.Int("intervals", 32, "interval count for the phases section")
-	outDir    = flag.String("outdir", "", "also write phases timelines as SVG files into DIR")
+	specPath   = flag.String("spec", "", "workload spec JSON for the custom section")
+	intervals  = flag.Int("intervals", 32, "interval count for the phases section")
+	outDir     = flag.String("outdir", "", "also write phases timelines as SVG files into DIR")
+	maxThreads = flag.Int("max-threads", 16, "sweep top for the advise section")
 )
 
 func main() {

@@ -7,6 +7,7 @@
 //	speedup-stack -bench radix_splash2 -threads 8 -format svg > radix.svg
 //	speedup-stack -bench bodytrack -threads 16 -intervals 32 -format svg > phases.svg
 //	speedup-stack -spec mykernel.json -threads 16
+//	speedup-stack -bench ferret -advise [-max-threads 16] [-format svg]
 //	speedup-stack -list
 //
 // -spec FILE analyzes a bring-your-own-benchmark workload spec (the JSON
@@ -20,6 +21,13 @@
 // its own component breakdown (the slices sum exactly to the aggregate).
 // text prints the interval table, json/csv the exact per-interval cycles,
 // and svg a stacked timeline instead of the aggregate bar chart.
+//
+// -advise switches to the scaling advisor: the workload is swept from 1 to
+// -max-threads threads (powers of two), Amdahl and USL curves are fitted,
+// and the report carries the classification, the diminishing-returns point
+// N*, the serial-fraction cross-check against the stack, and ranked
+// spec-field recommendations. svg draws the measured sweep with both
+// fitted curves overlaid.
 package main
 
 import (
@@ -36,6 +44,8 @@ func main() {
 	threads := flag.Int("threads", 16, "thread count (= core count)")
 	format := flag.String("format", "text", "output format: text|json|csv|svg")
 	intervals := flag.Int("intervals", 0, "time-resolve the stack into N intervals (0 = aggregate only)")
+	advise := flag.Bool("advise", false, "run the scaling advisor (Amdahl/USL fits and recommendations)")
+	maxThreads := flag.Int("max-threads", 16, "sweep top for -advise")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
 	flag.Parse()
 
@@ -50,6 +60,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *advise {
+		a, err := runAdvise(*spec, *bench, *maxThreads)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := speedupstack.EncodeAdvice(os.Stdout, f, a); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *intervals > 0 {
 		ts, err := measureIntervals(*spec, *bench, *threads, *intervals)
@@ -104,6 +126,18 @@ func measureIntervals(specPath, bench string, threads, intervals int) (speedupst
 		return speedupstack.TimeSeries{}, err
 	}
 	return speedupstack.MeasureSpecIntervals(w, threads, intervals)
+}
+
+// runAdvise is measure's scaling-advisor counterpart.
+func runAdvise(specPath, bench string, maxThreads int) (speedupstack.Advice, error) {
+	if specPath == "" {
+		return speedupstack.Advise(bench, maxThreads)
+	}
+	w, err := loadSpec(specPath)
+	if err != nil {
+		return speedupstack.Advice{}, err
+	}
+	return speedupstack.AdviseSpec(w, maxThreads)
 }
 
 // loadSpec reads and parses a workload spec file.

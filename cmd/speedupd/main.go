@@ -13,13 +13,17 @@
 //	POST /v1/sweep
 //	POST /v1/workloads/analyze
 //	POST /v1/workloads/validate
+//	GET  /v1/advise?bench=ferret&max_threads=16
 //	GET  /v1/benchmarks
 //	GET  /healthz
 //	GET  /metrics
 //
 // Identical concurrent requests collapse onto one simulation, results are
 // cached in an LRU keyed by the full machine configuration, and SIGINT or
-// SIGTERM drains in-flight requests before exiting.
+// SIGTERM drains in-flight requests before exiting. Every /v1 endpoint
+// accepts exactly its documented query parameters and answers failures
+// with one structured envelope ({"error":{"code","message","suggestion"}});
+// the Go package repro/client wraps the whole surface.
 package main
 
 import (

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/scaling"
+)
+
+// MinAdviseThreads is the smallest usable sweep top: the advisor's USL fit
+// has two parameters and needs at least two multi-threaded samples, so the
+// sweep must reach 3 threads.
+const MinAdviseThreads = 3
+
+// MaxAdviseThreads bounds the sweep top; it matches the per-cell thread
+// ceiling of the speedupd service.
+const MaxAdviseThreads = 64
+
+// AdviseThreads returns the advisor's sweep schedule for a top of max:
+// powers of two from 1, plus max itself. The geometric spacing samples the
+// curve where it bends without making the sweep cost quadratic in max.
+func AdviseThreads(max int) []int {
+	out := make([]int, 0, 8)
+	for n := 1; n < max; n *= 2 {
+		out = append(out, n)
+	}
+	return append(out, max)
+}
+
+// Advise runs the advisor's thread sweep for one workload and fits the
+// scaling models to it. The cell's Threads/Cores are ignored: the sweep sets
+// both, keeping the paper's cores = threads pairing at every point. Every
+// point goes through the engine's fingerprint-keyed memo, so repeated advice
+// for the same workload — or advice after a sweep that already simulated
+// these cells — costs no new simulation.
+func (e *Engine) Advise(ctx context.Context, req Request, maxThreads int) (scaling.Advice, error) {
+	if maxThreads < MinAdviseThreads || maxThreads > MaxAdviseThreads {
+		return scaling.Advice{}, fmt.Errorf("exp: advise max threads must be in [%d, %d], got %d",
+			MinAdviseThreads, MaxAdviseThreads, maxThreads)
+	}
+	b, err := resolveCell(req.Cell)
+	if err != nil {
+		return scaling.Advice{}, err
+	}
+	threads := AdviseThreads(maxThreads)
+	reqs := make([]Request, len(threads))
+	for i, n := range threads {
+		cell := req.Cell
+		cell.Threads, cell.Cores = n, 0
+		reqs[i] = Request{Cell: cell, Config: req.Config}
+	}
+	outs, err := e.Do(ctx, reqs)
+	if err != nil {
+		return scaling.Advice{}, err
+	}
+	points := make([]scaling.Point, len(outs))
+	for i, o := range outs {
+		points[i] = scaling.Point{Threads: o.Threads, Speedup: o.Actual}
+	}
+	top := outs[len(outs)-1]
+	return scaling.Build(b.FullName(), &b.Spec, points, &top.Stack)
+}

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/scaling"
+)
+
+// adviseTarget keeps the endpoint tests fast: a 4-thread sweep is three
+// cells (1, 2, 4) of the cheapest registered benchmark.
+const adviseTarget = "/v1/advise?bench=" + testBench + "&max_threads=4"
+
+func TestAdviseEndpointJSON(t *testing.T) {
+	s, sims := newTestServer(t)
+	w := get(t, s.Handler(), adviseTarget)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type %q", ct)
+	}
+	var a scaling.Advice
+	if err := json.Unmarshal(w.Body.Bytes(), &a); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, w.Body)
+	}
+	if a.Benchmark != testBench || a.MaxThreads != 4 || len(a.Points) != 3 {
+		t.Fatalf("unexpected advice shape: %+v", a)
+	}
+	if a.Class == "" || a.USL.R2 <= 0 {
+		t.Errorf("fits not populated: %+v", a)
+	}
+	// blackscholes scales near-linearly, so it may legitimately have no
+	// significant bottleneck — but bottleneck and recommendations must agree.
+	if (a.Bottleneck == "") != (len(a.Recommendations) == 0) {
+		t.Errorf("bottleneck %q with %d recommendations", a.Bottleneck, len(a.Recommendations))
+	}
+	if got := atomic.LoadInt32(sims); got != 3 {
+		t.Errorf("4-thread advise ran %d simulations, want 3", got)
+	}
+
+	// The sweep's cells are ordinary memo entries: repeating the advise —
+	// and asking /v1/stack for one of its points — costs nothing.
+	get(t, s.Handler(), adviseTarget)
+	get(t, s.Handler(), "/v1/stack?bench="+testBench+"&threads=4")
+	if got := atomic.LoadInt32(sims); got != 3 {
+		t.Errorf("repeat advise re-simulated (%d runs)", got)
+	}
+}
+
+func TestAdviseFormats(t *testing.T) {
+	s, _ := newTestServer(t)
+	w := get(t, s.Handler(), adviseTarget+"&format=text")
+	if w.Code != http.StatusOK {
+		t.Fatalf("text status %d: %s", w.Code, w.Body)
+	}
+	body := w.Body.String()
+	for _, want := range []string{testBench, "amdahl", "usl", "sigma", "n*"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("text report missing %q:\n%s", want, body)
+		}
+	}
+
+	w = get(t, s.Handler(), adviseTarget+"&format=svg")
+	if w.Code != http.StatusOK || !strings.HasPrefix(w.Body.String(), "<svg") {
+		t.Fatalf("svg: status %d, body %.40q", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "image/svg+xml" {
+		t.Errorf("svg content type %q", ct)
+	}
+	for _, want := range []string{"measured", "amdahl", "usl"} {
+		if !strings.Contains(w.Body.String(), want) {
+			t.Errorf("svg chart missing series %q", want)
+		}
+	}
+
+	w = get(t, s.Handler(), adviseTarget+"&format=csv")
+	if w.Code != http.StatusOK {
+		t.Fatalf("csv status %d", w.Code)
+	}
+	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	if len(lines) != 4 || !strings.HasPrefix(lines[0], "benchmark,threads,measured") {
+		t.Errorf("csv shape: %d lines, header %q", len(lines), lines[0])
+	}
+}
+
+func TestAdviseBadRequests(t *testing.T) {
+	s, _ := newTestServer(t)
+	for name, target := range map[string]string{
+		"missing bench":         "/v1/advise",
+		"max_threads too low":   "/v1/advise?bench=" + testBench + "&max_threads=2",
+		"max_threads too high":  "/v1/advise?bench=" + testBench + "&max_threads=65",
+		"max_threads not a num": "/v1/advise?bench=" + testBench + "&max_threads=lots",
+		"stray threads param":   "/v1/advise?bench=" + testBench + "&threads=4",
+	} {
+		w := get(t, s.Handler(), target)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, w.Code, w.Body)
+			continue
+		}
+		decodeEnvelope(t, w)
+	}
+	w := get(t, s.Handler(), "/v1/advise?bench=choleski")
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("typo'd bench: status %d, want 404", w.Code)
+	}
+	if e := decodeEnvelope(t, w); e.Code != "unknown_benchmark" || e.Suggestion != "cholesky" {
+		t.Errorf("unexpected envelope: %+v", e)
+	}
+	if st := s.Engine().Stats(); st.CellRuns != 0 {
+		t.Errorf("bad advise requests ran %d simulations", st.CellRuns)
+	}
+}

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/stack"
+	"repro/internal/workload"
+)
+
+// Every /v1 endpoint answers failures with one structured envelope:
+//
+//	{"error": {"code": "...", "message": "...", "suggestion": "..."}}
+//
+// code is a stable machine-readable identifier (the set below), message the
+// human-readable explanation, and suggestion an optional machine-readable
+// hint — today the nearest registered benchmark name on a 404. Clients that
+// negotiated the text format get a single plain "error: ..." line instead;
+// every other format (including SVG and CSV, where an error document would
+// be unparseable anyway) gets the JSON envelope.
+
+// Error codes of the /v1 surface. They are part of the API contract: new
+// codes may be added, existing ones never change meaning.
+const (
+	codeInvalidArgument  = "invalid_argument"
+	codeUnknownParameter = "unknown_parameter"
+	codeUnknownBenchmark = "unknown_benchmark"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeSimTimeout       = "sim_timeout"
+	codeRequestCanceled  = "request_canceled"
+	codeSimFailed        = "sim_failed"
+)
+
+// apiError is one failed request: the HTTP status, the envelope fields, and
+// nothing else — handlers construct it, writeError renders it once.
+type apiError struct {
+	Status     int
+	Code       string
+	Message    string
+	Suggestion string
+}
+
+func (e *apiError) Error() string { return e.Message }
+
+// errorEnvelope is the wire form of an apiError.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code       string `json:"code"`
+	Message    string `json:"message"`
+	Suggestion string `json:"suggestion,omitempty"`
+}
+
+// badRequest builds a 400 invalid_argument error.
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{Status: http.StatusBadRequest, Code: codeInvalidArgument,
+		Message: fmt.Sprintf(format, args...)}
+}
+
+// asAPIError maps any error onto an apiError: typed lookup failures become
+// 404s carrying their machine-readable suggestion, apiErrors pass through,
+// and everything else is a 400 with the error's own message (the callers
+// here only funnel request-shape errors through this path).
+func asAPIError(err error) *apiError {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	var lookup *workload.BenchmarkLookupError
+	if errors.As(err, &lookup) {
+		// A well-formed request for a benchmark that does not exist is a
+		// missing resource, not a malformed request.
+		return &apiError{Status: http.StatusNotFound, Code: codeUnknownBenchmark,
+			Message: lookup.Error(), Suggestion: lookup.Suggestion}
+	}
+	return badRequest("%v", err)
+}
+
+// simAPIError maps a simulation failure onto an apiError: timeouts are the
+// gateway's fault (504), cancellations the client's (499-style 408),
+// anything else a 500.
+func (s *Server) simAPIError(err error) *apiError {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &apiError{Status: http.StatusGatewayTimeout, Code: codeSimTimeout,
+			Message: fmt.Sprintf("simulation exceeded the %s limit", s.simTimeout)}
+	case errors.Is(err, context.Canceled):
+		return &apiError{Status: http.StatusRequestTimeout, Code: codeRequestCanceled,
+			Message: "request canceled"}
+	default:
+		return &apiError{Status: http.StatusInternalServerError, Code: codeSimFailed,
+			Message: fmt.Sprintf("simulation failed: %v", err)}
+	}
+}
+
+// writeError renders an apiError in the request's negotiated format: a
+// plain "error: ..." line for text clients, the JSON envelope for everyone
+// else. Negotiation failures (the error being reported may itself be a bad
+// ?format=) fall back to the envelope.
+func writeError(w http.ResponseWriter, r *http.Request, e *apiError) {
+	f, nerr := stack.NegotiateFormat(r.URL.Query().Get("format"), r.Header.Get("Accept"), stack.FormatJSON)
+	if nerr == nil && f == stack.FormatText {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(e.Status)
+		fmt.Fprintf(w, "error: %s\n", e.Message)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(e.Status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(errorEnvelope{Error: errorBody{Code: e.Code, Message: e.Message, Suggestion: e.Suggestion}})
+}

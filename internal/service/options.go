@@ -1,0 +1,203 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/stack"
+	"repro/internal/workload"
+)
+
+// Query-option parsing shared by every /v1 handler. Each endpoint declares
+// which parameters it accepts via an optionSpec; one parser enforces the
+// declaration, negotiates the format, and applies the bounds, so endpoints
+// cannot drift apart — and any parameter outside the declaration is a 400,
+// never silently ignored (a misspelled ?thread=8 would otherwise measure
+// the wrong cell without complaint).
+
+// optionSpec declares an endpoint's accepted query parameters.
+type optionSpec struct {
+	// format accepts ?format= and Accept-header negotiation. Endpoints
+	// without it always answer JSON.
+	format bool
+	// cell accepts bench, threads and cores — the single-cell GET shape.
+	cell bool
+	// intervals accepts the interval count of a time-resolved request.
+	intervals bool
+	// advise accepts bench and max_threads — the advisor GET shape.
+	advise bool
+}
+
+// params lists the accepted parameter names, sorted, for error messages.
+func (o optionSpec) params() []string {
+	var names []string
+	if o.format {
+		names = append(names, "format")
+	}
+	if o.cell {
+		names = append(names, "bench", "threads", "cores")
+	}
+	if o.intervals {
+		names = append(names, "intervals")
+	}
+	if o.advise {
+		names = append(names, "bench", "max_threads")
+	}
+	sort.Strings(names)
+	return names
+}
+
+// requestOptions are the parsed, validated options of one request.
+type requestOptions struct {
+	format     stack.Format
+	cell       exp.Cell
+	intervals  int
+	maxThreads int
+}
+
+// parseOptions parses and validates the request's query string against the
+// endpoint's declaration. Unknown parameters, malformed values and
+// out-of-bounds shapes all come back as apiErrors ready for writeError.
+func parseOptions(r *http.Request, spec optionSpec) (requestOptions, *apiError) {
+	q := r.URL.Query()
+	allowed := make(map[string]bool, 6)
+	for _, name := range spec.params() {
+		allowed[name] = true
+	}
+	given := make([]string, 0, len(q))
+	for name := range q {
+		given = append(given, name)
+	}
+	sort.Strings(given)
+	for _, name := range given {
+		if !allowed[name] {
+			accepts := "no query parameters"
+			if len(allowed) > 0 {
+				accepts = strings.Join(spec.params(), ", ")
+			}
+			return requestOptions{}, &apiError{Status: http.StatusBadRequest, Code: codeUnknownParameter,
+				Message: fmt.Sprintf("unknown query parameter %q (%s accepts %s)", name, r.URL.Path, accepts)}
+		}
+	}
+
+	opts := requestOptions{format: stack.FormatJSON}
+	if spec.format {
+		f, err := stack.NegotiateFormat(q.Get("format"), r.Header.Get("Accept"), stack.FormatJSON)
+		if err != nil {
+			return requestOptions{}, badRequest("%v", err)
+		}
+		opts.format = f
+	}
+	if spec.cell {
+		cell, err := parseCell(q.Get("bench"), q.Get("threads"), q.Get("cores"))
+		if err != nil {
+			return requestOptions{}, asAPIError(err)
+		}
+		opts.cell = cell
+	}
+	if spec.intervals {
+		n, err := parseIntervals(q.Get("intervals"), 0)
+		if err != nil {
+			return requestOptions{}, badRequest("%v", err)
+		}
+		opts.intervals = n
+	}
+	if spec.advise {
+		bench := q.Get("bench")
+		if bench == "" {
+			return requestOptions{}, badRequest("missing bench parameter")
+		}
+		b, ok := workload.ByName(bench)
+		if !ok {
+			return requestOptions{}, asAPIError(workload.UnknownBenchmarkError(bench))
+		}
+		opts.cell = exp.Cell{Bench: b.FullName()}
+		opts.maxThreads = defaultAdviseThreads
+		if s := q.Get("max_threads"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				return requestOptions{}, badRequest("bad max_threads %q: %v", s, err)
+			}
+			if n < exp.MinAdviseThreads || n > exp.MaxAdviseThreads {
+				return requestOptions{}, badRequest("max_threads must be in [%d,%d], got %d",
+					exp.MinAdviseThreads, exp.MaxAdviseThreads, n)
+			}
+			opts.maxThreads = n
+		}
+	}
+	return opts, nil
+}
+
+// parseCell validates one requested cell from query parameters.
+func parseCell(bench, threadsStr, coresStr string) (exp.Cell, error) {
+	if bench == "" {
+		return exp.Cell{}, fmt.Errorf("missing bench parameter")
+	}
+	threads, err := strconv.Atoi(threadsStr)
+	if err != nil {
+		return exp.Cell{}, fmt.Errorf("bad threads %q: %v", threadsStr, err)
+	}
+	cores := 0
+	if coresStr != "" {
+		if cores, err = strconv.Atoi(coresStr); err != nil {
+			return exp.Cell{}, fmt.Errorf("bad cores %q: %v", coresStr, err)
+		}
+	}
+	return checkCell(exp.Cell{Bench: bench, Threads: threads, Cores: cores})
+}
+
+// checkCell validates a named cell (shared by the query and body paths) and
+// normalizes plain-name aliases ("cholesky") to canonical full names, so
+// response labels are canonical. An unregistered name fails with a
+// workload.BenchmarkLookupError (carrying the nearest-name suggestion),
+// which asAPIError maps to HTTP 404.
+func checkCell(c exp.Cell) (exp.Cell, error) {
+	b, ok := workload.ByName(c.Bench)
+	if !ok {
+		return exp.Cell{}, workload.UnknownBenchmarkError(c.Bench)
+	}
+	c.Bench = b.FullName()
+	return checkCellBounds(c)
+}
+
+// checkCellBounds enforces the run-shape limits shared by named and inline
+// cells. The 64-core ceiling is the simulator's hard limit
+// (sim.Config.Validate), which holds for every machine configuration the
+// service can be built with.
+func checkCellBounds(c exp.Cell) (exp.Cell, error) {
+	if c.Threads < 1 || c.Threads > 256 {
+		return exp.Cell{}, fmt.Errorf("threads must be in [1,256], got %d", c.Threads)
+	}
+	if c.Cores < 0 || c.Cores > 64 {
+		return exp.Cell{}, fmt.Errorf("cores must be in [0,64], got %d", c.Cores)
+	}
+	// Cores defaults to threads (the paper's pairing), so a bare thread
+	// count must itself fit the simulator's core limit.
+	if c.Cores == 0 && c.Threads > 64 {
+		return exp.Cell{}, fmt.Errorf("threads %d exceeds the simulator's 64-core limit; pass an explicit cores", c.Threads)
+	}
+	return c, nil
+}
+
+// parseIntervals validates an interval count. s is the query value (absent
+// when empty), body the decoded body field (absent when zero); an absent
+// count selects the default, an explicit one must be in range.
+func parseIntervals(s string, body int) (int, error) {
+	n := body
+	if s != "" {
+		var err error
+		if n, err = strconv.Atoi(s); err != nil {
+			return 0, fmt.Errorf("bad intervals %q: %v", s, err)
+		}
+	} else if n == 0 {
+		return defaultIntervals, nil
+	}
+	if n < 1 || n > maxIntervals {
+		return 0, fmt.Errorf("intervals must be in [1,%d], got %d", maxIntervals, n)
+	}
+	return n, nil
+}

@@ -10,6 +10,7 @@
 //	                                {"spec":{...workload spec...},"threads":N}, ...]}
 //	POST /v1/workloads/analyze   {"spec":{...},"threads":N[,"cores":M][,"intervals":K]}
 //	POST /v1/workloads/validate  {...workload spec...}  (dry run, no simulation)
+//	GET  /v1/advise?bench=NAME[&max_threads=M][&format=json|csv|svg|text]
 //	GET  /v1/benchmarks   registered benchmark analogues
 //	GET  /healthz         liveness probe
 //	GET  /metrics         request counts, cache traffic, in-flight sims
@@ -27,9 +28,24 @@
 // /v1/workloads/validate parses and validates a spec body and reports its
 // canonical form and fingerprint without simulating anything.
 //
+// /v1/advise runs the scaling advisor (internal/scaling) over a memoized
+// thread sweep — powers of two up to max_threads (default 16, bounds
+// [3,64]) — and reports deterministic Amdahl and USL fits, the
+// diminishing-returns point N*, a linear/saturated/negative classification,
+// a cross-check of the fitted serial fraction against the stack's
+// serialization components, and ranked spec-field recommendations. The SVG
+// format draws the measured sweep with both fitted curves overlaid.
+//
 // Report formats are negotiated per request: an explicit ?format= wins,
 // then the Accept header (application/json, text/csv, image/svg+xml,
 // text/plain), then JSON.
+//
+// The API surface is uniform: each endpoint accepts exactly its documented
+// query parameters (anything else is 400 unknown_parameter, never silently
+// ignored — see options.go), and every failure is the structured envelope
+// {"error":{"code":...,"message":...,"suggestion":...}} described in
+// errors.go; clients that negotiated the text format get a plain
+// "error: ..." line instead.
 //
 // Caching and concurrency: results are cached in the engine's memo — an
 // LRU keyed by the full (machine configuration, workload fingerprint,
@@ -52,11 +68,11 @@ import (
 	"net"
 	"net/http"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/scaling"
 	"repro/internal/sim"
 	"repro/internal/stack"
 	"repro/internal/workload"
@@ -94,6 +110,9 @@ const (
 	// response and cache-entry size).
 	defaultIntervals = 32
 	maxIntervals     = 512
+	// defaultAdviseThreads is the advisor's sweep top when the request does
+	// not name one: the paper's 16-thread machine.
+	defaultAdviseThreads = 16
 )
 
 // Server is the speedupd HTTP service.
@@ -152,6 +171,7 @@ func New(opts Options) *Server {
 	s.route("/v1/sweep", http.MethodPost, s.handleSweep)
 	s.route("/v1/workloads/analyze", http.MethodPost, s.handleAnalyze)
 	s.route("/v1/workloads/validate", http.MethodPost, s.handleValidate)
+	s.route("/v1/advise", http.MethodGet, s.handleAdvise)
 	s.route("/v1/benchmarks", http.MethodGet, s.handleBenchmarks)
 	s.route("/healthz", http.MethodGet, s.handleHealthz)
 	s.route("/metrics", http.MethodGet, s.handleMetrics)
@@ -174,7 +194,8 @@ func (s *Server) route(path, method string, h func(http.ResponseWriter, *http.Re
 		rw := &statusWriter{ResponseWriter: w}
 		if r.Method != method {
 			rw.Header().Set("Allow", method)
-			s.httpError(rw, http.StatusMethodNotAllowed, "%s requires %s", path, method)
+			writeError(rw, r, &apiError{Status: http.StatusMethodNotAllowed, Code: codeMethodNotAllowed,
+				Message: fmt.Sprintf("%s requires %s", path, method)})
 		} else {
 			h(rw, r)
 		}
@@ -211,64 +232,6 @@ func (w *statusWriter) status() int {
 	return w.code
 }
 
-// httpError answers a JSON error body with the given status.
-func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-// parseCell validates one requested cell from query parameters.
-func parseCell(bench, threadsStr, coresStr string) (exp.Cell, error) {
-	if bench == "" {
-		return exp.Cell{}, errors.New("missing bench parameter")
-	}
-	threads, err := strconv.Atoi(threadsStr)
-	if err != nil {
-		return exp.Cell{}, fmt.Errorf("bad threads %q: %v", threadsStr, err)
-	}
-	cores := 0
-	if coresStr != "" {
-		if cores, err = strconv.Atoi(coresStr); err != nil {
-			return exp.Cell{}, fmt.Errorf("bad cores %q: %v", coresStr, err)
-		}
-	}
-	return checkCell(exp.Cell{Bench: bench, Threads: threads, Cores: cores})
-}
-
-// checkCell validates a named cell (shared by the query and body paths) and
-// normalizes plain-name aliases ("cholesky") to canonical full names, so
-// response labels are canonical. An unregistered name fails with
-// workload.ErrUnknownBenchmark (carrying the nearest-name suggestion),
-// which handleStack maps to HTTP 404.
-func checkCell(c exp.Cell) (exp.Cell, error) {
-	b, ok := workload.ByName(c.Bench)
-	if !ok {
-		return exp.Cell{}, workload.UnknownBenchmarkError(c.Bench)
-	}
-	c.Bench = b.FullName()
-	return checkCellBounds(c)
-}
-
-// checkCellBounds enforces the run-shape limits shared by named and inline
-// cells. The 64-core ceiling is the simulator's hard limit
-// (sim.Config.Validate), which holds for every machine configuration the
-// service can be built with.
-func checkCellBounds(c exp.Cell) (exp.Cell, error) {
-	if c.Threads < 1 || c.Threads > 256 {
-		return exp.Cell{}, fmt.Errorf("threads must be in [1,256], got %d", c.Threads)
-	}
-	if c.Cores < 0 || c.Cores > 64 {
-		return exp.Cell{}, fmt.Errorf("cores must be in [0,64], got %d", c.Cores)
-	}
-	// Cores defaults to threads (the paper's pairing), so a bare thread
-	// count must itself fit the simulator's core limit.
-	if c.Cores == 0 && c.Threads > 64 {
-		return exp.Cell{}, fmt.Errorf("threads %d exceeds the simulator's 64-core limit; pass an explicit cores", c.Threads)
-	}
-	return c, nil
-}
-
 // cellRequest is one cell of a POST body: either a registered benchmark
 // named by bench, or an inline workload spec. Intervals asks for the
 // time-resolved decomposition; it is honored by /v1/workloads/analyze and
@@ -279,25 +242,6 @@ type cellRequest struct {
 	Threads   int             `json:"threads"`
 	Cores     int             `json:"cores,omitempty"`
 	Intervals int             `json:"intervals,omitempty"`
-}
-
-// parseIntervals validates an interval count. s is the query value (absent
-// when empty), body the decoded body field (absent when zero); an absent
-// count selects the default, an explicit one must be in range.
-func parseIntervals(s string, body int) (int, error) {
-	n := body
-	if s != "" {
-		var err error
-		if n, err = strconv.Atoi(s); err != nil {
-			return 0, fmt.Errorf("bad intervals %q: %v", s, err)
-		}
-	} else if n == 0 {
-		return defaultIntervals, nil
-	}
-	if n < 1 || n > maxIntervals {
-		return 0, fmt.Errorf("intervals must be in [1,%d], got %d", maxIntervals, n)
-	}
-	return n, nil
 }
 
 // decodeBody strictly decodes one JSON request body: size-capped, unknown
@@ -401,47 +345,21 @@ func (s *Server) respond(w http.ResponseWriter, f stack.Format, outs []exp.Outco
 	stack.Encode(w, f, bars)
 }
 
-// simError maps a simulation failure onto a status code: timeouts are the
-// gateway's fault (504), cancellations the client's (499-style 408),
-// anything else a 500.
-func (s *Server) simError(w http.ResponseWriter, ctx context.Context, err error) {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		s.httpError(w, http.StatusGatewayTimeout, "simulation exceeded the %s limit", s.simTimeout)
-	case errors.Is(err, context.Canceled):
-		s.httpError(w, http.StatusRequestTimeout, "request canceled")
-	default:
-		s.httpError(w, http.StatusInternalServerError, "simulation failed: %v", err)
-	}
-}
-
 // handleStack serves GET /v1/stack: one (benchmark, threads[, cores]) cell.
 func (s *Server) handleStack(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	f, err := stack.NegotiateFormat(q.Get("format"), r.Header.Get("Accept"), stack.FormatJSON)
-	if err != nil {
-		s.httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	cell, err := parseCell(q.Get("bench"), q.Get("threads"), q.Get("cores"))
-	if err != nil {
-		// A well-formed request for a benchmark that does not exist is a
-		// missing resource, not a malformed request.
-		code := http.StatusBadRequest
-		if errors.Is(err, workload.ErrUnknownBenchmark) {
-			code = http.StatusNotFound
-		}
-		s.httpError(w, code, "%v", err)
+	opts, aerr := parseOptions(r, optionSpec{format: true, cell: true})
+	if aerr != nil {
+		writeError(w, r, aerr)
 		return
 	}
 	ctx, cancel := s.simContext(r)
 	defer cancel()
-	outs, err := s.sweep(ctx, []exp.Cell{cell})
+	outs, err := s.sweep(ctx, []exp.Cell{opts.cell})
 	if err != nil {
-		s.simError(w, ctx, err)
+		writeError(w, r, s.simAPIError(err))
 		return
 	}
-	s.respond(w, f, outs)
+	s.respond(w, opts.format, outs)
 }
 
 // handleStackIntervals serves GET /v1/stack/intervals: one cell's
@@ -450,34 +368,19 @@ func (s *Server) handleStack(w http.ResponseWriter, r *http.Request) {
 // sequential reference share /v1/stack's cache; the interval series has its
 // own memo keyed by (cell, K).
 func (s *Server) handleStackIntervals(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	f, err := stack.NegotiateFormat(q.Get("format"), r.Header.Get("Accept"), stack.FormatJSON)
-	if err != nil {
-		s.httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	count, err := parseIntervals(q.Get("intervals"), 0)
-	if err != nil {
-		s.httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	cell, err := parseCell(q.Get("bench"), q.Get("threads"), q.Get("cores"))
-	if err != nil {
-		code := http.StatusBadRequest
-		if errors.Is(err, workload.ErrUnknownBenchmark) {
-			code = http.StatusNotFound
-		}
-		s.httpError(w, code, "%v", err)
+	opts, aerr := parseOptions(r, optionSpec{format: true, cell: true, intervals: true})
+	if aerr != nil {
+		writeError(w, r, aerr)
 		return
 	}
 	ctx, cancel := s.simContext(r)
 	defer cancel()
-	out, err := s.measureIntervals(ctx, cell, count)
+	out, err := s.measureIntervals(ctx, opts.cell, opts.intervals)
 	if err != nil {
-		s.simError(w, ctx, err)
+		writeError(w, r, s.simAPIError(err))
 		return
 	}
-	s.respondSeries(w, f, out)
+	s.respondSeries(w, opts.format, out)
 }
 
 // sweepRequest is the POST /v1/sweep body.
@@ -488,35 +391,37 @@ type sweepRequest struct {
 // handleSweep serves POST /v1/sweep: a batch of cells in one engine pass,
 // deduplicated against each other and the cache.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	f, err := stack.NegotiateFormat(r.URL.Query().Get("format"), r.Header.Get("Accept"), stack.FormatJSON)
-	if err != nil {
-		s.httpError(w, http.StatusBadRequest, "%v", err)
+	opts, aerr := parseOptions(r, optionSpec{format: true})
+	if aerr != nil {
+		writeError(w, r, aerr)
 		return
 	}
 	var req sweepRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		s.httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		writeError(w, r, badRequest("bad body: %v", err))
 		return
 	}
 	if len(req.Cells) == 0 {
-		s.httpError(w, http.StatusBadRequest, "empty cell list")
+		writeError(w, r, badRequest("empty cell list"))
 		return
 	}
 	if len(req.Cells) > s.maxSweepCells {
-		s.httpError(w, http.StatusBadRequest, "%d cells exceeds the %d-cell batch limit",
-			len(req.Cells), s.maxSweepCells)
+		writeError(w, r, badRequest("%d cells exceeds the %d-cell batch limit",
+			len(req.Cells), s.maxSweepCells))
 		return
 	}
 	cells := make([]exp.Cell, len(req.Cells))
 	for i, c := range req.Cells {
 		if c.Intervals != 0 {
-			s.httpError(w, http.StatusBadRequest,
-				"cell %d: sweeps return aggregate stacks; use /v1/stack/intervals or /v1/workloads/analyze for a time-resolved one", i)
+			writeError(w, r, badRequest(
+				"cell %d: sweeps return aggregate stacks; use /v1/stack/intervals or /v1/workloads/analyze for a time-resolved one", i))
 			return
 		}
 		cell, err := buildCell(c)
 		if err != nil {
-			s.httpError(w, http.StatusBadRequest, "cell %d: %v", i, err)
+			ae := asAPIError(err)
+			ae.Message = fmt.Sprintf("cell %d: %s", i, ae.Message)
+			writeError(w, r, ae)
 			return
 		}
 		cells[i] = cell
@@ -525,10 +430,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	outs, err := s.sweep(ctx, cells)
 	if err != nil {
-		s.simError(w, ctx, err)
+		writeError(w, r, s.simAPIError(err))
 		return
 	}
-	s.respond(w, f, outs)
+	s.respond(w, opts.format, outs)
 }
 
 // handleAnalyze serves POST /v1/workloads/analyze: one inline custom
@@ -537,34 +442,35 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // engine keys on the spec's canonical fingerprint, so repeating a spec —
 // under any name, inline or registered — is a cache hit.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	f, err := stack.NegotiateFormat(r.URL.Query().Get("format"), r.Header.Get("Accept"), stack.FormatJSON)
-	if err != nil {
-		s.httpError(w, http.StatusBadRequest, "%v", err)
+	opts, aerr := parseOptions(r, optionSpec{format: true})
+	if aerr != nil {
+		writeError(w, r, aerr)
 		return
 	}
 	var req cellRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		s.httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		writeError(w, r, badRequest("bad body: %v", err))
 		return
 	}
 	if len(req.Spec) == 0 {
-		s.httpError(w, http.StatusBadRequest, "missing spec (POST {\"spec\":{...},\"threads\":N})")
+		writeError(w, r, badRequest("missing spec (POST {\"spec\":{...},\"threads\":N})"))
 		return
 	}
 	if req.Bench != "" {
-		s.httpError(w, http.StatusBadRequest, "analyze takes a spec, not a bench name (use /v1/stack)")
+		writeError(w, r, badRequest("analyze takes a spec, not a bench name (use /v1/stack)"))
 		return
 	}
 	count := 0
 	if req.Intervals != 0 {
+		var err error
 		if count, err = parseIntervals("", req.Intervals); err != nil {
-			s.httpError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, r, badRequest("%v", err))
 			return
 		}
 	}
 	cell, err := buildCell(req)
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, asAPIError(err))
 		return
 	}
 	ctx, cancel := s.simContext(r)
@@ -574,18 +480,18 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		// intervals' memo and the aggregate's fingerprint-keyed cache.
 		out, err := s.measureIntervals(ctx, cell, count)
 		if err != nil {
-			s.simError(w, ctx, err)
+			writeError(w, r, s.simAPIError(err))
 			return
 		}
-		s.respondSeries(w, f, out)
+		s.respondSeries(w, opts.format, out)
 		return
 	}
 	outs, err := s.sweep(ctx, []exp.Cell{cell})
 	if err != nil {
-		s.simError(w, ctx, err)
+		writeError(w, r, s.simAPIError(err))
 		return
 	}
-	s.respond(w, f, outs)
+	s.respond(w, opts.format, outs)
 }
 
 // validateResponse is the POST /v1/workloads/validate answer.
@@ -605,9 +511,13 @@ type validateResponse struct {
 // readable but invalid spec answers 200 with valid=false and the actionable
 // validation error, so CI pipelines can lint spec files cheaply.
 func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	if _, aerr := parseOptions(r, optionSpec{}); aerr != nil {
+		writeError(w, r, aerr)
+		return
+	}
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		writeError(w, r, badRequest("reading body: %v", err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -626,8 +536,55 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// advise runs the advisor's memoized thread sweep on the engine with the
+// same detach-on-timeout discipline as sweep: the caller gets ctx.Err()
+// promptly while the sweep finishes in the background and lands in the
+// cell memo, so a retry is mostly (or entirely) cache hits.
+func (s *Server) advise(ctx context.Context, cell exp.Cell, maxThreads int) (scaling.Advice, error) {
+	type result struct {
+		a   scaling.Advice
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		a, err := s.engine.Advise(context.Background(), exp.Request{Cell: cell}, maxThreads)
+		ch <- result{a, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.a, r.err
+	case <-ctx.Done():
+		return scaling.Advice{}, ctx.Err()
+	}
+}
+
+// handleAdvise serves GET /v1/advise: the scaling advisor for one
+// registered benchmark. The sweep's cells ride the same fingerprint-keyed
+// memo as every other endpoint, so advising a benchmark that has already
+// been measured reuses those runs, and repeating an advise is free.
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	opts, aerr := parseOptions(r, optionSpec{format: true, advise: true})
+	if aerr != nil {
+		writeError(w, r, aerr)
+		return
+	}
+	ctx, cancel := s.simContext(r)
+	defer cancel()
+	a, err := s.advise(ctx, opts.cell, opts.maxThreads)
+	if err != nil {
+		writeError(w, r, s.simAPIError(err))
+		return
+	}
+	w.Header().Set("Content-Type", opts.format.ContentType())
+	scaling.Encode(w, opts.format, a)
+}
+
 // handleBenchmarks serves GET /v1/benchmarks.
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	if _, aerr := parseOptions(r, optionSpec{}); aerr != nil {
+		writeError(w, r, aerr)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -240,13 +240,19 @@ func TestSweepBadRequests(t *testing.T) {
 	}
 	for _, body := range []string{
 		``, `not json`, `{"cells":[]}`,
-		`{"cells":[{"bench":"nosuch","threads":2}]}`,
 		`{"cells":[{"bench":"blackscholes","threads":0}]}`,
 		`{"unknown":1}`,
 	} {
 		if w := post(body); w.Code != http.StatusBadRequest {
 			t.Errorf("body %.30q: status %d, want 400", body, w.Code)
 		}
+	}
+	// An unknown benchmark inside a batch is the same missing resource as
+	// on the single-cell path: 404 with the cell index prefixed.
+	if w := post(`{"cells":[{"bench":"nosuch","threads":2}]}`); w.Code != http.StatusNotFound {
+		t.Errorf("unknown bench in batch: status %d, want 404 (%s)", w.Code, w.Body)
+	} else if e := decodeEnvelope(t, w); e.Code != "unknown_benchmark" || !strings.HasPrefix(e.Message, "cell 0:") {
+		t.Errorf("unexpected envelope: %+v", e)
 	}
 	// Batch limit.
 	srv := New(Options{Engine: s.Engine(), MaxSweepCells: 2})

@@ -12,14 +12,37 @@ import (
 // carries the nearest-name suggestion shared by every front end.
 var ErrUnknownBenchmark = errors.New("unknown benchmark")
 
+// BenchmarkLookupError is the typed form of a failed registry lookup. It
+// matches ErrUnknownBenchmark under errors.Is, and carries the nearest-name
+// suggestion as a field so structured surfaces (the speedupd error envelope)
+// can expose it machine-readably while Error() keeps rendering the exact
+// message every front end has always shown.
+type BenchmarkLookupError struct {
+	// Name is the name that failed to resolve; Suggestion the closest
+	// registered name, or "" when nothing is plausibly intended.
+	Name       string
+	Suggestion string
+}
+
+// Error renders the message every front end shows: the failed name plus
+// the did-you-mean suggestion when one exists.
+func (e *BenchmarkLookupError) Error() string {
+	if e.Suggestion != "" {
+		return fmt.Sprintf("%v %q (did you mean %q?)", ErrUnknownBenchmark, e.Name, e.Suggestion)
+	}
+	return fmt.Sprintf("%v %q (not one of the %d registered analogues)", ErrUnknownBenchmark, e.Name, len(registry))
+}
+
+// Is makes errors.Is(err, ErrUnknownBenchmark) hold for wrapped lookup
+// errors without a separate sentinel in the chain.
+func (e *BenchmarkLookupError) Is(target error) bool { return target == ErrUnknownBenchmark }
+
 // UnknownBenchmarkError builds the user-facing error for a failed lookup,
 // including the closest registered name when one is plausibly intended.
-// The CLI and the HTTP service both surface this exact message.
+// The CLI and the HTTP service both surface this exact message; the service
+// additionally lifts the typed Suggestion into its error envelope.
 func UnknownBenchmarkError(name string) error {
-	if s := Suggest(name); s != "" {
-		return fmt.Errorf("%w %q (did you mean %q?)", ErrUnknownBenchmark, name, s)
-	}
-	return fmt.Errorf("%w %q (not one of the %d registered analogues)", ErrUnknownBenchmark, name, len(registry))
+	return &BenchmarkLookupError{Name: name, Suggestion: Suggest(name)}
 }
 
 // Suggest returns the registered benchmark name (FullName or plain name)

@@ -1,0 +1,135 @@
+// Command smoke drives a running speedupd server end to end through the
+// public client package: every /v1 endpoint, format negotiation, the
+// scaling advisor, and the uniform error envelope. CI starts a server and
+// runs it; it exits non-zero on the first failed check.
+//
+// Usage:
+//
+//	go run ./scripts/smoke -base http://127.0.0.1:8091 [-pprof]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"repro/client"
+)
+
+func main() {
+	base := flag.String("base", "http://127.0.0.1:8080", "server base URL")
+	pprof := flag.Bool("pprof", false, "also probe /debug/pprof (server must run with -pprof)")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	c := client.New(*base)
+
+	// Readiness: the server may still be binding when CI launches us.
+	var err error
+	for i := 0; i < 100; i++ {
+		if err = c.Healthz(ctx); err == nil {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	check("healthz", err)
+
+	names, err := c.Benchmarks(ctx)
+	check("benchmarks", err)
+	expect("benchmarks", len(names) >= 20, "only %d registered", len(names))
+
+	const bench = "cholesky_splash2"
+	row, err := c.Stack(ctx, bench, 8, 0)
+	check("stack", err)
+	expect("stack", row.Benchmark == bench && row.Actual > 0, "row %+v", row)
+
+	svg, ct, err := c.Raw(ctx, "/v1/stack",
+		url.Values{"bench": {bench}, "threads": {"8"}, "format": {"svg"}}, "")
+	check("stack svg", err)
+	expect("stack svg", strings.HasPrefix(string(svg), "<svg") && ct == "image/svg+xml",
+		"content type %q", ct)
+
+	rep, err := c.StackIntervals(ctx, bench, 8, 0, 8)
+	check("intervals", err)
+	expect("intervals", rep.Benchmark == bench && len(rep.Intervals) > 0,
+		"%d intervals", len(rep.Intervals))
+
+	spec := []byte(`{"name":"ci-kernel","kind":"data_parallel","array_bytes":524288,` +
+		`"sweeps_per_phase":1,"phases":1,"instr_per_access":2500,"store_frac":0.1,"seed":11}`)
+	v, err := c.Validate(ctx, spec)
+	check("validate", err)
+	expect("validate", v.Valid && len(v.Fingerprint) == 64 && v.Canonical != nil, "result %+v", v)
+
+	arow, err := c.Analyze(ctx, *v.Canonical, 8, 0)
+	check("analyze", err)
+	expect("analyze", arow.Benchmark == "ci-kernel" && arow.Actual >= 1, "row %+v", arow)
+
+	// The scaling advisor, JSON and text.
+	a, err := c.Advise(ctx, bench, 8)
+	check("advise", err)
+	expect("advise", a.Benchmark == bench && a.MaxThreads == 8 && len(a.Points) == 4,
+		"advice %+v", a)
+	expect("advise", a.Class != "" && a.USL.R2 > 0, "fits not populated: %+v", a)
+	text, ct, err := c.Raw(ctx, "/v1/advise",
+		url.Values{"bench": {bench}, "max_threads": {"8"}, "format": {"text"}}, "")
+	check("advise text", err)
+	expect("advise text", strings.HasPrefix(ct, "text/plain") &&
+		strings.Contains(string(text), "amdahl:") && strings.Contains(string(text), "usl:"),
+		"content type %q, body %.80q", ct, string(text))
+
+	// The uniform error envelope: a typo'd benchmark is a 404 whose
+	// suggestion is machine-readable, and an undeclared query parameter is
+	// a 400 with its own stable code.
+	_, err = c.Stack(ctx, "choleski", 8, 0)
+	var ae *client.APIError
+	expect("404 envelope", errors.As(err, &ae), "error %v", err)
+	expect("404 envelope", ae.StatusCode == 404 && ae.Code == "unknown_benchmark" &&
+		ae.Suggestion == "cholesky", "APIError %+v", ae)
+	_, _, err = c.Raw(ctx, "/v1/advise",
+		url.Values{"bench": {bench}, "threads": {"8"}}, "")
+	expect("unknown-param envelope", errors.As(err, &ae), "error %v", err)
+	expect("unknown-param envelope", ae.StatusCode == 400 && ae.Code == "unknown_parameter",
+		"APIError %+v", ae)
+
+	// Metrics: the run count pins the cache discipline of everything above —
+	// stack (1 run, shared by svg/intervals), analyze (1), advise (threads
+	// 1/2/4 new, 8 cached: 3); errors and repeats ran nothing.
+	metrics, err := c.Metrics(ctx)
+	check("metrics", err)
+	for _, want := range []string{
+		"speedupd_sim_cell_runs_total 5",
+		"speedupd_simulated_ops_total",
+		"speedupd_simulated_ops_per_second",
+		`speedupd_requests_total{path="/v1/advise"}`,
+	} {
+		expect("metrics", strings.Contains(metrics, want), "missing %q in:\n%s", want, metrics)
+	}
+
+	if *pprof {
+		_, _, err := c.Raw(ctx, "/debug/pprof/cmdline", nil, "")
+		check("pprof", err)
+	}
+	fmt.Println("smoke: all checks passed")
+}
+
+// check exits on a hard error.
+func check(step string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smoke: %s: %v\n", step, err)
+		os.Exit(1)
+	}
+}
+
+// expect exits when a check's condition does not hold.
+func expect(step string, ok bool, format string, args ...any) {
+	if !ok {
+		fmt.Fprintf(os.Stderr, "smoke: %s: "+format+"\n", append([]any{step}, args...)...)
+		os.Exit(1)
+	}
+}

@@ -188,6 +188,16 @@ func measureCells(ctx context.Context, cells []exp.Cell) ([]Result, error) {
 	return results, nil
 }
 
+// StackRow is one speedup stack in tabular wire form: the JSON/CSV row the
+// library encoders and the speedupd service emit (per-component values next
+// to the actual and estimated speedups). The client package decodes service
+// responses into it.
+type StackRow = stack.ReportRow
+
+// TimeSeriesReport is the wire form of a time-resolved stack: run metadata,
+// the aggregate exact-cycle decomposition, and one entry per interval.
+type TimeSeriesReport = stack.TimeSeriesReport
+
 // TimeSeries is the time-resolved form of one speedup stack: the aggregate
 // decomposition plus per-interval component breakdowns whose integer-cycle
 // values sum exactly to the aggregate. Produce one with MeasureIntervals or
