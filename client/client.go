@@ -193,6 +193,33 @@ func (c *Client) Advise(ctx context.Context, bench string, maxThreads int) (spee
 	return a, err
 }
 
+// WhatIf runs the causal what-if engine on one (benchmark, threads) cell:
+// each applicable catalog intervention's predicted speedup gain, validated
+// by re-simulating the mutated workload/machine, ranked by predicted gain.
+// interventions selects catalog entries by ID (nil means the full catalog);
+// an unknown ID is a 404 *APIError with code "unknown_intervention" and the
+// nearest catalog ID as Suggestion.
+func (c *Client) WhatIf(ctx context.Context, bench string, threads int, interventions []string) (speedupstack.WhatIfReport, error) {
+	body := map[string]any{"bench": bench, "threads": threads}
+	if len(interventions) > 0 {
+		body["interventions"] = interventions
+	}
+	var rep speedupstack.WhatIfReport
+	err := c.postJSON(ctx, "/v1/whatif", body, &rep)
+	return rep, err
+}
+
+// WhatIfSpec is WhatIf for an inline custom workload spec.
+func (c *Client) WhatIfSpec(ctx context.Context, spec speedupstack.Workload, threads int, interventions []string) (speedupstack.WhatIfReport, error) {
+	body := map[string]any{"spec": spec, "threads": threads}
+	if len(interventions) > 0 {
+		body["interventions"] = interventions
+	}
+	var rep speedupstack.WhatIfReport
+	err := c.postJSON(ctx, "/v1/whatif", body, &rep)
+	return rep, err
+}
+
 // Healthz checks the liveness probe.
 func (c *Client) Healthz(ctx context.Context) error {
 	body, _, err := c.Raw(ctx, "/healthz", nil, "")

@@ -14,6 +14,7 @@
 //	experiments custom -spec mykernel.json
 //	experiments phases [-intervals 32] [-outdir DIR]
 //	experiments advise [-max-threads 16]
+//	experiments whatif [-threads 16]
 //
 // The custom section is the bring-your-own-benchmark path: it sweeps the
 // workload described by -spec FILE (a JSON workload spec) across thread
@@ -24,8 +25,11 @@
 // scaling advisor (internal/scaling) over every registered analogue:
 // Amdahl/USL fits of a 1..-max-threads sweep, the classification, the
 // serial-fraction cross-check against the stack, and each benchmark's top
-// recommendation. All three run only when named explicitly — "all"
-// regenerates exactly the paper's artifacts.
+// recommendation. The whatif section runs the causal what-if engine
+// (internal/whatif) over every analogue at -threads threads, printing each
+// benchmark's top intervention with its predicted and re-simulated gains.
+// All four run only when named explicitly — "all" regenerates exactly the
+// paper's artifacts.
 package main
 
 import (
@@ -53,7 +57,7 @@ type section struct {
 
 // onDemand marks sections that run only when named explicitly, never under
 // "all" — "all" regenerates exactly the paper's artifacts.
-var onDemand = map[string]bool{"custom": true, "phases": true, "advise": true}
+var onDemand = map[string]bool{"custom": true, "phases": true, "advise": true, "whatif": true}
 
 // sections is the single registry the command-line validation and the
 // execution loop both read, in output order.
@@ -209,6 +213,27 @@ var sections = []section{
 		fmt.Print(stack.Table(bars))
 		return nil
 	}},
+	{"whatif", func(ctx context.Context, e *exp.Engine) error {
+		names := workload.Names()
+		fmt.Printf("causal what-if engine, %d analogues x%d threads (predicted vs re-simulated gains)\n\n",
+			len(names), *whatifThreads)
+		fmt.Printf("%-26s %8s %-18s %9s %9s %8s\n",
+			"benchmark", "baseline", "top intervention", "gain(est)", "gain(sim)", "error")
+		for _, name := range names {
+			rep, err := e.WhatIf(ctx, exp.Request{Cell: exp.Cell{Bench: name, Threads: *whatifThreads}}, nil)
+			if err != nil {
+				return err
+			}
+			if len(rep.Predictions) == 0 {
+				fmt.Printf("%-26s %8.2f %-18s\n", name, rep.BaselineSpeedup, "-")
+				continue
+			}
+			p := rep.Predictions[0]
+			fmt.Printf("%-26s %8.2f %-18s %+9.2f %+9.2f %+8.3f\n",
+				name, rep.BaselineSpeedup, p.Intervention, p.PredictedGain, p.ActualGain, p.Error)
+		}
+		return nil
+	}},
 	{"advise", func(ctx context.Context, e *exp.Engine) error {
 		names := workload.Names()
 		fmt.Printf("scaling advisor, sweep 1..%d (powers of two), %d analogues\n\n",
@@ -246,13 +271,15 @@ var sections = []section{
 }
 
 // specPath feeds the custom section; intervals and outDir feed the phases
-// section; maxThreads feeds the advise section. They are flags so they
-// parse alongside the shared -workers/-timeout/-q options.
+// section; maxThreads feeds the advise section; whatifThreads the whatif
+// section. They are flags so they parse alongside the shared
+// -workers/-timeout/-q options.
 var (
-	specPath   = flag.String("spec", "", "workload spec JSON for the custom section")
-	intervals  = flag.Int("intervals", 32, "interval count for the phases section")
-	outDir     = flag.String("outdir", "", "also write phases timelines as SVG files into DIR")
-	maxThreads = flag.Int("max-threads", 16, "sweep top for the advise section")
+	specPath      = flag.String("spec", "", "workload spec JSON for the custom section")
+	intervals     = flag.Int("intervals", 32, "interval count for the phases section")
+	outDir        = flag.String("outdir", "", "also write phases timelines as SVG files into DIR")
+	maxThreads    = flag.Int("max-threads", 16, "sweep top for the advise section")
+	whatifThreads = flag.Int("threads", 16, "thread count for the whatif section")
 )
 
 func main() {

@@ -8,6 +8,7 @@
 //	speedup-stack -bench bodytrack -threads 16 -intervals 32 -format svg > phases.svg
 //	speedup-stack -spec mykernel.json -threads 16
 //	speedup-stack -bench ferret -advise [-max-threads 16] [-format svg]
+//	speedup-stack -bench cholesky -threads 16 -whatif [-interventions halve_lock_hold,double_llc]
 //	speedup-stack -list
 //
 // -spec FILE analyzes a bring-your-own-benchmark workload spec (the JSON
@@ -28,12 +29,21 @@
 // N*, the serial-fraction cross-check against the stack, and ranked
 // spec-field recommendations. svg draws the measured sweep with both
 // fitted curves overlaid.
+//
+// -whatif switches to the causal what-if engine: each applicable catalog
+// intervention (halve the lock hold time, remove imbalance, double the LLC,
+// halve the memory latency) is predicted by re-evaluating the estimator
+// with its stack components scaled, validated by re-simulating the mutated
+// workload or machine, and ranked by predicted gain. -interventions
+// restricts the run to a comma-separated subset of catalog IDs; svg draws
+// the baseline and per-intervention stacks as one chart.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	speedupstack "repro"
 )
@@ -46,6 +56,8 @@ func main() {
 	intervals := flag.Int("intervals", 0, "time-resolve the stack into N intervals (0 = aggregate only)")
 	advise := flag.Bool("advise", false, "run the scaling advisor (Amdahl/USL fits and recommendations)")
 	maxThreads := flag.Int("max-threads", 16, "sweep top for -advise")
+	whatIf := flag.Bool("whatif", false, "run the causal what-if engine (predicted vs re-simulated intervention gains)")
+	interventions := flag.String("interventions", "", "comma-separated intervention IDs for -whatif (empty = full catalog)")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
 	flag.Parse()
 
@@ -60,6 +72,22 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *whatIf {
+		var ids []string
+		if *interventions != "" {
+			ids = strings.Split(*interventions, ",")
+		}
+		rep, err := runWhatIf(*spec, *bench, *threads, ids)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := speedupstack.EncodeWhatIf(os.Stdout, f, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *advise {
 		a, err := runAdvise(*spec, *bench, *maxThreads)
@@ -138,6 +166,18 @@ func runAdvise(specPath, bench string, maxThreads int) (speedupstack.Advice, err
 		return speedupstack.Advice{}, err
 	}
 	return speedupstack.AdviseSpec(w, maxThreads)
+}
+
+// runWhatIf is measure's causal what-if counterpart.
+func runWhatIf(specPath, bench string, threads int, ids []string) (speedupstack.WhatIfReport, error) {
+	if specPath == "" {
+		return speedupstack.WhatIf(bench, threads, ids...)
+	}
+	w, err := loadSpec(specPath)
+	if err != nil {
+		return speedupstack.WhatIfReport{}, err
+	}
+	return speedupstack.WhatIfSpec(w, threads, ids...)
 }
 
 // loadSpec reads and parses a workload spec file.

@@ -4,7 +4,11 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/scaling"
+	"repro/internal/sim"
+	"repro/internal/whatif"
+	"repro/internal/workload"
 )
 
 // MinAdviseThreads is the smallest usable sweep top: the advisor's USL fit
@@ -58,5 +62,41 @@ func (e *Engine) Advise(ctx context.Context, req Request, maxThreads int) (scali
 		points[i] = scaling.Point{Threads: o.Threads, Speedup: o.Actual}
 	}
 	top := outs[len(outs)-1]
-	return scaling.Build(b.FullName(), &b.Spec, points, &top.Stack)
+	cfg := e.base
+	if req.Config != nil {
+		cfg = *req.Config
+	}
+	a, err := scaling.Build(b.FullName(), &b.Spec, points, &top.Stack)
+	if err != nil {
+		return scaling.Advice{}, err
+	}
+	attachPredictedGains(a.Recommendations, b.Spec, cfg, top.Stack)
+	return a, nil
+}
+
+// attachPredictedGains annotates component-keyed recommendations with the
+// what-if catalog's view: for each recommendation, the applicable
+// intervention scaling that component with the largest predicted gain. The
+// gains are pure Formula (4) re-evaluations of the already-measured top
+// stack — no extra simulation — and a client can validate any of them by
+// asking the what-if engine for the full re-simulated report.
+func attachPredictedGains(recs []scaling.Recommendation, spec workload.Spec, cfg sim.Config, st core.Stack) {
+	for i := range recs {
+		rec := &recs[i]
+		bestID, bestGain := "", 0.0
+		for _, iv := range whatif.Catalog() {
+			if !iv.ScalesComponent(rec.Component) {
+				continue
+			}
+			if _, ok := iv.Mutate(spec, cfg); !ok {
+				continue
+			}
+			if g := whatif.PredictGain(st, iv); bestID == "" || g > bestGain {
+				bestID, bestGain = iv.ID, g
+			}
+		}
+		if bestID != "" {
+			rec.Intervention, rec.PredictedGain = bestID, bestGain
+		}
+	}
 }

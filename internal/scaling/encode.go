@@ -77,6 +77,10 @@ func Text(a Advice) string {
 			}
 			fmt.Fprintf(&b, "%2d. [%s, %.2f speedup units] %s: %s\n      %s\n",
 				i+1, r.Component, r.Impact, field, r.Action, r.Detail)
+			if r.Intervention != "" {
+				fmt.Fprintf(&b, "      what-if: %s predicts %+.2f speedup (validate via the what-if report)\n",
+					r.Intervention, r.PredictedGain)
+			}
 		}
 	} else {
 		b.WriteString("\nno significant scaling delimiters; nothing to recommend\n")

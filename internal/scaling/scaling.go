@@ -28,6 +28,7 @@
 package scaling
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -36,6 +37,13 @@ import (
 	"repro/internal/stack"
 	"repro/internal/workload"
 )
+
+// ErrDegenerateSweep tags sweeps the fitter cannot use: too few points, or
+// an (effectively) single-threaded sweep with fewer than two multi-threaded
+// samples — the USL's two-parameter regression is underdetermined there,
+// and forcing a fit would push Inf/NaN coefficients into every encoder.
+// Callers branch on it with errors.Is; the message carries the specifics.
+var ErrDegenerateSweep = errors.New("degenerate sweep")
 
 // Point is one measured sweep sample: the thread count and the measured
 // actual speedup (Ts/Tp) at that count.
@@ -133,6 +141,14 @@ type Recommendation struct {
 	// Impact is the component's current cost in speedup units at the top of
 	// the sweep — the upper bound on what fixing it can recover.
 	Impact float64 `json:"impact_speedup_units"`
+	// Intervention and PredictedGain connect the recommendation to the
+	// what-if catalog (internal/whatif): the applicable intervention
+	// targeting this component, and its predicted speedup gain from
+	// re-evaluating the estimator with the component scaled. They are
+	// filled by the exp layer (which owns both packages) and zero-valued
+	// when no catalog intervention applies to the workload.
+	Intervention  string  `json:"intervention,omitempty"`
+	PredictedGain float64 `json:"predicted_gain,omitempty"`
 }
 
 // Advice is the advisor's full answer for one workload sweep.
@@ -172,7 +188,8 @@ type Advice struct {
 // multi-threaded samples (the USL has two parameters).
 func validatePoints(points []Point) error {
 	if len(points) < MinPoints {
-		return fmt.Errorf("scaling: need at least %d sweep points to fit, got %d", MinPoints, len(points))
+		return fmt.Errorf("scaling: %w: need at least %d sweep points to fit, got %d",
+			ErrDegenerateSweep, MinPoints, len(points))
 	}
 	multi := 0
 	for i, p := range points {
@@ -191,7 +208,12 @@ func validatePoints(points []Point) error {
 		}
 	}
 	if multi < 2 {
-		return fmt.Errorf("scaling: need at least 2 multi-threaded points to fit contention, got %d", multi)
+		// The N=1-only (or nearly so) sweep: with fewer than two
+		// multi-threaded samples both regressors vanish, sxx in FitAmdahl
+		// (and the USL normal equations) would divide by zero, and the
+		// downstream σ = s/((1−s)(N−1)) cross-check has no N>1 anchor.
+		return fmt.Errorf("scaling: %w: need at least 2 multi-threaded points to fit contention, got %d",
+			ErrDegenerateSweep, multi)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package scaling
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -322,5 +323,79 @@ func TestEncodeFormats(t *testing.T) {
 	}
 	if err := Encode(&svg, stack.Format("nope"), a); err == nil {
 		t.Error("unknown format accepted")
+	}
+}
+
+// TestDegenerateSweepTyped pins the typed failure contract: a sweep the
+// fitter cannot use — empty, or effectively N=1-only — fails every entry
+// point with an error matching ErrDegenerateSweep, so callers (the advise
+// endpoint, the experiments section) can branch on it instead of string
+// matching, and no Inf/NaN Advice ever reaches an encoder.
+func TestDegenerateSweepTyped(t *testing.T) {
+	degenerate := [][]Point{
+		nil,
+		{{1, 1}},         // the N=1-only sweep
+		{{1, 1}, {2, 2}}, // one multi-threaded point: USL is underdetermined
+	}
+	for i, pts := range degenerate {
+		for name, fit := range map[string]func([]Point) (Fit, error){
+			"FitAmdahl": FitAmdahl, "FitUSL": FitUSL,
+		} {
+			if _, err := fit(pts); !errors.Is(err, ErrDegenerateSweep) {
+				t.Errorf("case %d: %s error %v does not match ErrDegenerateSweep", i, name, err)
+			}
+		}
+		if _, err := Build("x", nil, pts, nil); !errors.Is(err, ErrDegenerateSweep) {
+			t.Errorf("case %d: Build error %v does not match ErrDegenerateSweep", i, err)
+		}
+	}
+	// Malformed-but-sufficient sweeps are a different failure: they must NOT
+	// claim to be degenerate.
+	if _, err := FitAmdahl([]Point{{1, 1}, {16, 8}, {8, 6}}); err == nil || errors.Is(err, ErrDegenerateSweep) {
+		t.Errorf("non-ascending sweep error %v should not match ErrDegenerateSweep", err)
+	}
+}
+
+// TestEncodeRecommendationWhatIfLine: a recommendation carrying an attached
+// what-if prediction renders it in the text report; one without stays
+// silent.
+func TestEncodeRecommendationWhatIfLine(t *testing.T) {
+	b, _ := workload.ByName("lud_rodinia")
+	st := core.Stack{N: 16, Tp: 1000, Components: core.Components{Yield: 6000, Imbalance: 1000}}
+	a, err := Build(b.FullName(), &b.Spec, amdahlPoints(0.1, 1, 2, 4, 8, 16), &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Recommendations) == 0 {
+		t.Fatal("no recommendations")
+	}
+	var plain bytes.Buffer
+	if err := Encode(&plain, stack.FormatText, a); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "what-if:") {
+		t.Error("what-if line rendered without an attached prediction")
+	}
+	a.Recommendations[0].Intervention = "remove_imbalance"
+	a.Recommendations[0].PredictedGain = 1.25
+	var withIv bytes.Buffer
+	if err := Encode(&withIv, stack.FormatText, a); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(withIv.String(), "what-if: remove_imbalance predicts +1.25 speedup") {
+		t.Errorf("attached prediction not rendered:\n%s", withIv.String())
+	}
+	// And the fields survive the JSON wire form.
+	var js bytes.Buffer
+	if err := Encode(&js, stack.FormatJSON, a); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Advice
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Recommendations[0].Intervention != "remove_imbalance" ||
+		decoded.Recommendations[0].PredictedGain != 1.25 {
+		t.Error("intervention fields lost in JSON round trip")
 	}
 }

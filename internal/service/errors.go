@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"repro/internal/stack"
+	"repro/internal/whatif"
 	"repro/internal/workload"
 )
 
@@ -25,13 +26,14 @@ import (
 // Error codes of the /v1 surface. They are part of the API contract: new
 // codes may be added, existing ones never change meaning.
 const (
-	codeInvalidArgument  = "invalid_argument"
-	codeUnknownParameter = "unknown_parameter"
-	codeUnknownBenchmark = "unknown_benchmark"
-	codeMethodNotAllowed = "method_not_allowed"
-	codeSimTimeout       = "sim_timeout"
-	codeRequestCanceled  = "request_canceled"
-	codeSimFailed        = "sim_failed"
+	codeInvalidArgument     = "invalid_argument"
+	codeUnknownParameter    = "unknown_parameter"
+	codeUnknownBenchmark    = "unknown_benchmark"
+	codeUnknownIntervention = "unknown_intervention"
+	codeMethodNotAllowed    = "method_not_allowed"
+	codeSimTimeout          = "sim_timeout"
+	codeRequestCanceled     = "request_canceled"
+	codeSimFailed           = "sim_failed"
 )
 
 // apiError is one failed request: the HTTP status, the envelope fields, and
@@ -77,6 +79,13 @@ func asAPIError(err error) *apiError {
 		// missing resource, not a malformed request.
 		return &apiError{Status: http.StatusNotFound, Code: codeUnknownBenchmark,
 			Message: lookup.Error(), Suggestion: lookup.Suggestion}
+	}
+	var ivErr *whatif.UnknownInterventionError
+	if errors.As(err, &ivErr) {
+		// Same reasoning for a what-if intervention that is not in the
+		// catalog: 404, with the nearest catalog ID as the suggestion.
+		return &apiError{Status: http.StatusNotFound, Code: codeUnknownIntervention,
+			Message: ivErr.Error(), Suggestion: ivErr.Suggestion}
 	}
 	return badRequest("%v", err)
 }

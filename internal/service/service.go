@@ -11,6 +11,9 @@
 //	POST /v1/workloads/analyze   {"spec":{...},"threads":N[,"cores":M][,"intervals":K]}
 //	POST /v1/workloads/validate  {...workload spec...}  (dry run, no simulation)
 //	GET  /v1/advise?bench=NAME[&max_threads=M][&format=json|csv|svg|text]
+//	POST /v1/whatif       {"bench":"...","threads":N[,"cores":M]
+//	                       [,"interventions":["halve_lock_hold",...]]}
+//	                      (or "spec" instead of "bench", like /v1/sweep)
 //	GET  /v1/benchmarks   registered benchmark analogues
 //	GET  /healthz         liveness probe
 //	GET  /metrics         request counts, cache traffic, in-flight sims
@@ -35,6 +38,15 @@
 // a cross-check of the fitted serial fraction against the stack's
 // serialization components, and ranked spec-field recommendations. The SVG
 // format draws the measured sweep with both fitted curves overlaid.
+//
+// /v1/whatif runs the causal what-if engine (internal/whatif) on one cell:
+// it re-evaluates the estimator with each catalog intervention's stack
+// components virtually scaled, validates every prediction by re-simulating
+// the concretely mutated workload or machine, and answers the ranked
+// report. An unknown intervention ID is 404 unknown_intervention with the
+// nearest catalog ID as the suggestion. The baseline and every mutated cell
+// ride the same fingerprint-keyed memo as the rest of the surface, so
+// repeating a what-if performs zero additional simulations.
 //
 // Report formats are negotiated per request: an explicit ?format= wins,
 // then the Accept header (application/json, text/csv, image/svg+xml,
@@ -75,6 +87,7 @@ import (
 	"repro/internal/scaling"
 	"repro/internal/sim"
 	"repro/internal/stack"
+	"repro/internal/whatif"
 	"repro/internal/workload"
 )
 
@@ -172,6 +185,7 @@ func New(opts Options) *Server {
 	s.route("/v1/workloads/analyze", http.MethodPost, s.handleAnalyze)
 	s.route("/v1/workloads/validate", http.MethodPost, s.handleValidate)
 	s.route("/v1/advise", http.MethodGet, s.handleAdvise)
+	s.route("/v1/whatif", http.MethodPost, s.handleWhatIf)
 	s.route("/v1/benchmarks", http.MethodGet, s.handleBenchmarks)
 	s.route("/healthz", http.MethodGet, s.handleHealthz)
 	s.route("/metrics", http.MethodGet, s.handleMetrics)
@@ -249,7 +263,14 @@ type cellRequest struct {
 // applies to the spec object itself, so every front end agrees on what a
 // valid input is.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	return decodeStrict(http.MaxBytesReader(w, r.Body, 1<<20), v)
+}
+
+// decodeStrict is decodeBody's transport-free core: the exact decoding
+// contract applied to every POST body, factored out so the fuzz suites can
+// drive it on raw bytes without an HTTP round trip.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return err
@@ -412,15 +433,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	cells := make([]exp.Cell, len(req.Cells))
 	for i, c := range req.Cells {
+		// Cell indices in error prefixes are 0-based positions in the
+		// declared JSON array — the contract exp.CellErrorIndexBase pins.
 		if c.Intervals != 0 {
 			writeError(w, r, badRequest(
-				"cell %d: sweeps return aggregate stacks; use /v1/stack/intervals or /v1/workloads/analyze for a time-resolved one", i))
+				"cell %d: sweeps return aggregate stacks; use /v1/stack/intervals or /v1/workloads/analyze for a time-resolved one",
+				exp.CellErrorIndexBase+i))
 			return
 		}
 		cell, err := buildCell(c)
 		if err != nil {
 			ae := asAPIError(err)
-			ae.Message = fmt.Sprintf("cell %d: %s", i, ae.Message)
+			ae.Message = fmt.Sprintf("cell %d: %s", exp.CellErrorIndexBase+i, ae.Message)
 			writeError(w, r, ae)
 			return
 		}
@@ -577,6 +601,98 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", opts.format.ContentType())
 	scaling.Encode(w, opts.format, a)
+}
+
+// whatifRequest is the POST /v1/whatif body: a cell (bench or inline spec,
+// threads, optional cores) plus an optional list of catalog intervention
+// IDs; absent means the full catalog.
+type whatifRequest struct {
+	Bench         string          `json:"bench,omitempty"`
+	Spec          json.RawMessage `json:"spec,omitempty"`
+	Threads       int             `json:"threads"`
+	Cores         int             `json:"cores,omitempty"`
+	Interventions []string        `json:"interventions,omitempty"`
+}
+
+// parseWhatIf resolves a decoded what-if body into an engine cell and the
+// requested intervention IDs, applying the same cell bounds as every other
+// endpoint plus the what-if floor (a single-threaded run has no scaling gap
+// to attribute). It performs no simulation, so the fuzz suite can drive it
+// on arbitrary bodies; intervention IDs are resolved here too, so unknown
+// ones fail before any simulation is spent.
+func parseWhatIf(req whatifRequest) (exp.Cell, []string, error) {
+	cell, err := buildCell(cellRequest{Bench: req.Bench, Spec: req.Spec, Threads: req.Threads, Cores: req.Cores})
+	if err != nil {
+		return exp.Cell{}, nil, err
+	}
+	if req.Threads < exp.MinWhatIfThreads {
+		return exp.Cell{}, nil, badRequest("what-if needs threads >= %d (a single-threaded run has no scaling gap), got %d",
+			exp.MinWhatIfThreads, req.Threads)
+	}
+	for _, id := range req.Interventions {
+		if _, err := whatif.ByID(id); err != nil {
+			return exp.Cell{}, nil, err
+		}
+	}
+	return cell, req.Interventions, nil
+}
+
+// whatIf runs the what-if engine with the same detach-on-timeout discipline
+// as sweep: the caller gets ctx.Err() promptly while the baseline and
+// mutated cells finish in the background and land in the memo, so a retry
+// is mostly (or entirely) cache hits.
+func (s *Server) whatIf(ctx context.Context, cell exp.Cell, ids []string) (whatif.Report, error) {
+	type result struct {
+		rep whatif.Report
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		rep, err := s.engine.WhatIf(context.Background(), exp.Request{Cell: cell}, ids)
+		ch <- result{rep, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.rep, r.err
+	case <-ctx.Done():
+		return whatif.Report{}, ctx.Err()
+	}
+}
+
+// handleWhatIf serves POST /v1/whatif: the causal what-if report for one
+// cell — each applicable catalog intervention predicted by re-evaluating
+// the estimator with its components scaled, validated by re-simulating the
+// mutated spec/machine, and ranked by predicted gain. Everything rides the
+// fingerprint-keyed memo, so repeating a request simulates nothing new.
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	opts, aerr := parseOptions(r, optionSpec{format: true})
+	if aerr != nil {
+		writeError(w, r, aerr)
+		return
+	}
+	var req whatifRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, r, badRequest("bad body: %v", err))
+		return
+	}
+	cell, ids, err := parseWhatIf(req)
+	if err != nil {
+		writeError(w, r, asAPIError(err))
+		return
+	}
+	ctx, cancel := s.simContext(r)
+	defer cancel()
+	rep, err := s.whatIf(ctx, cell, ids)
+	if err != nil {
+		if errors.Is(err, whatif.ErrUnknownIntervention) {
+			writeError(w, r, asAPIError(err))
+			return
+		}
+		writeError(w, r, s.simAPIError(err))
+		return
+	}
+	w.Header().Set("Content-Type", opts.format.ContentType())
+	whatif.Encode(w, opts.format, rep)
 }
 
 // handleBenchmarks serves GET /v1/benchmarks.

@@ -83,9 +83,32 @@ func main() {
 		strings.Contains(string(text), "amdahl:") && strings.Contains(string(text), "usl:"),
 		"content type %q, body %.80q", ct, string(text))
 
+	// The causal what-if engine. The baseline cell (cholesky x8) is already
+	// memoized by the stack and advise calls above, so this run simulates
+	// only the mutated cells: all four catalog interventions apply to
+	// cholesky (a task queue with a dispatch lock and skewed shares), hence
+	// exactly four new cell runs — asserted by the metrics block below.
+	wrep, err := c.WhatIf(ctx, bench, 8, nil)
+	check("whatif", err)
+	expect("whatif", wrep.Benchmark == bench && wrep.Threads == 8 &&
+		len(wrep.Predictions) == 4, "report %+v", wrep)
+	expect("whatif", wrep.BaselineSpeedup > 0, "baseline not populated: %+v", wrep)
+	for i, p := range wrep.Predictions {
+		expect("whatif", p.Intervention != "" && p.Mutation != "" && p.ActualSpeedup > 0,
+			"prediction %d incomplete: %+v", i, p)
+		expect("whatif", i == 0 || p.PredictedGain <= wrep.Predictions[i-1].PredictedGain,
+			"predictions not ranked by predicted gain: %+v", wrep.Predictions)
+	}
+	// Repeating the what-if — and narrowing it to a subset — is pure memo.
+	wrep2, err := c.WhatIf(ctx, bench, 8, []string{"double_llc"})
+	check("whatif repeat", err)
+	expect("whatif repeat", len(wrep2.Predictions) == 1 &&
+		wrep2.Predictions[0].Intervention == "double_llc", "report %+v", wrep2)
+
 	// The uniform error envelope: a typo'd benchmark is a 404 whose
-	// suggestion is machine-readable, and an undeclared query parameter is
-	// a 400 with its own stable code.
+	// suggestion is machine-readable, an undeclared query parameter is
+	// a 400 with its own stable code, and a typo'd what-if intervention is
+	// a 404 carrying the nearest catalog ID.
 	_, err = c.Stack(ctx, "choleski", 8, 0)
 	var ae *client.APIError
 	expect("404 envelope", errors.As(err, &ae), "error %v", err)
@@ -96,14 +119,20 @@ func main() {
 	expect("unknown-param envelope", errors.As(err, &ae), "error %v", err)
 	expect("unknown-param envelope", ae.StatusCode == 400 && ae.Code == "unknown_parameter",
 		"APIError %+v", ae)
+	_, err = c.WhatIf(ctx, bench, 8, []string{"double_lcc"})
+	expect("unknown-intervention envelope", errors.As(err, &ae), "error %v", err)
+	expect("unknown-intervention envelope", ae.StatusCode == 404 &&
+		ae.Code == "unknown_intervention" && ae.Suggestion == "double_llc",
+		"APIError %+v", ae)
 
 	// Metrics: the run count pins the cache discipline of everything above —
 	// stack (1 run, shared by svg/intervals), analyze (1), advise (threads
-	// 1/2/4 new, 8 cached: 3); errors and repeats ran nothing.
+	// 1/2/4 new, 8 cached: 3), what-if (baseline cached, 4 mutated cells);
+	// the what-if repeat, the subset, and every error ran nothing.
 	metrics, err := c.Metrics(ctx)
 	check("metrics", err)
 	for _, want := range []string{
-		"speedupd_sim_cell_runs_total 5",
+		"speedupd_sim_cell_runs_total 9",
 		"speedupd_simulated_ops_total",
 		"speedupd_simulated_ops_per_second",
 		`speedupd_requests_total{path="/v1/advise"}`,

@@ -1,0 +1,82 @@
+package speedupstack
+
+import (
+	"context"
+	"io"
+	"runtime"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/whatif"
+)
+
+// WhatIfReport is the causal what-if engine's answer for one (workload,
+// threads) cell: every applicable catalog intervention's predicted speedup
+// gain — the Section 3/4 estimator re-evaluated with the intervention's
+// stack components virtually scaled — validated by re-simulating the
+// concretely mutated workload or machine, ranked by predicted gain.
+type WhatIfReport = whatif.Report
+
+// WhatIfPrediction is one evaluated intervention: predicted and
+// re-simulated speedups, their gains, and the prediction error normalized
+// the paper's way ((predicted − actual)/N, Formula (6)).
+type WhatIfPrediction = whatif.Prediction
+
+// WhatIfIntervention is one catalog entry: a named, virtually-scalable
+// change to the workload or the machine.
+type WhatIfIntervention = whatif.Intervention
+
+// Catalog intervention IDs, usable with WhatIf's variadic selection.
+const (
+	WhatIfHalveLockHold   = whatif.HalveLockHold
+	WhatIfRemoveImbalance = whatif.RemoveImbalance
+	WhatIfDoubleLLC       = whatif.DoubleLLC
+	WhatIfHalveMemLatency = whatif.HalveMemLatency
+)
+
+// MinWhatIfThreads is the smallest thread count the what-if engine accepts.
+const MinWhatIfThreads = exp.MinWhatIfThreads
+
+// Interventions returns the what-if catalog, in presentation order.
+func Interventions() []WhatIfIntervention { return whatif.Catalog() }
+
+// WhatIf runs the causal what-if analysis for a registered benchmark
+// analogue at a thread count on the default machine. interventions selects
+// catalog entries by ID; none means the full catalog. Interventions that do
+// not apply to the workload are skipped.
+func WhatIf(benchmark string, threads int, interventions ...string) (WhatIfReport, error) {
+	return WhatIfContext(context.Background(), benchmark, threads, interventions...)
+}
+
+// WhatIfContext is WhatIf with cancellation.
+func WhatIfContext(ctx context.Context, benchmark string, threads int, interventions ...string) (WhatIfReport, error) {
+	return runWhatIf(ctx, exp.Cell{Bench: benchmark, Threads: threads}, interventions)
+}
+
+// WhatIfSpec is WhatIf for a custom workload: the same predictions and
+// re-simulated validations for a spec that need not be registered, sharing
+// — like every other entry point — the fingerprint-keyed simulation
+// identity.
+func WhatIfSpec(w Workload, threads int, interventions ...string) (WhatIfReport, error) {
+	return WhatIfSpecContext(context.Background(), w, threads, interventions...)
+}
+
+// WhatIfSpecContext is WhatIfSpec with cancellation.
+func WhatIfSpecContext(ctx context.Context, w Workload, threads int, interventions ...string) (WhatIfReport, error) {
+	return runWhatIf(ctx, exp.Cell{Spec: &w, Threads: threads}, interventions)
+}
+
+// runWhatIf executes the what-if engine on a fresh all-CPU default-machine
+// engine — the shared back end of WhatIf and WhatIfSpec.
+func runWhatIf(ctx context.Context, cell exp.Cell, ids []string) (WhatIfReport, error) {
+	e := exp.NewEngine(sim.Default(), exp.WithWorkers(runtime.NumCPU()))
+	return e.WhatIf(ctx, exp.Request{Cell: cell}, ids)
+}
+
+// EncodeWhatIf writes a WhatIfReport to w in the requested format:
+// FormatText is the human-readable ranking, FormatJSON the report object,
+// FormatCSV one record per prediction, and FormatSVG the baseline and
+// per-intervention re-simulated stacks as one bar chart.
+func EncodeWhatIf(w io.Writer, f Format, rep WhatIfReport) error {
+	return whatif.Encode(w, f, rep)
+}
