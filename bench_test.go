@@ -233,6 +233,62 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "sim-ops/sec")
 }
 
+// sweepAllCells declares the fast-mode acceptance grid: every registered
+// analogue at 16 threads.
+func sweepAllCells() []exp.Cell {
+	names := workload.Names()
+	cells := make([]exp.Cell, len(names))
+	for i, n := range names {
+		cells[i] = exp.Cell{Bench: n, Threads: 16}
+	}
+	return cells
+}
+
+// benchSweepAll runs the 28-analogue 16-thread sweep on a single worker in
+// the given mode — the exact/fast pair below is the wall-clock evidence for
+// the fast-mode speedup target (compare the two with benchstat).
+func benchSweepAll(b *testing.B, mode sim.Mode) {
+	for i := 0; i < b.N; i++ {
+		e := exp.NewEngine(sim.Default().WithMode(mode), exp.WithWorkers(1))
+		outs, err := e.Sweep(benchCtx, sweepAllCells())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(outs)), "cells")
+		}
+	}
+}
+
+// BenchmarkSweepAll16TExact is the exact-mode half of the fast-mode
+// speedup comparison: 28 analogues x16 threads, one worker, full detail.
+func BenchmarkSweepAll16TExact(b *testing.B) { benchSweepAll(b, sim.ModeExact) }
+
+// BenchmarkSweepAll16TFast is the sampled half: the same sweep in ModeFast
+// (1-in-2^FastSetShift detailed LLC sets, predicted remainder). The paper's
+// acceptance target is >= 3x over BenchmarkSweepAll16TExact.
+func BenchmarkSweepAll16TFast(b *testing.B) { benchSweepAll(b, sim.ModeFast) }
+
+// BenchmarkCellIntraRunShards measures intra-run core parallelism on one
+// 16-thread cell: the per-core accounting (ATD walks) sharded across OS
+// threads within a single sim.Run. Compare with BenchmarkSimulatorThroughput
+// (the unsharded single-cell path); results are byte-identical for any
+// shard count.
+func BenchmarkCellIntraRunShards(b *testing.B) {
+	shards := runtime.NumCPU()
+	for i := 0; i < b.N; i++ {
+		e := exp.NewEngine(sim.Default(), exp.WithWorkers(1), exp.WithIntraRunShards(shards))
+		outs, err := e.Sweep(benchCtx, []exp.Cell{{Bench: "facesim_parsec_small", Threads: 16}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(shards), "shards")
+			b.ReportMetric(outs[0].Actual, "actual-speedup")
+		}
+	}
+}
+
 // mustBench fetches a registered benchmark or fails the test.
 func mustBench(b *testing.B, name string) workload.Benchmark {
 	b.Helper()

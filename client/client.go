@@ -3,6 +3,10 @@
 // (speedupstack.StackRow, speedupstack.Advice, ...) so a program can move
 // between the in-process library and the service without translating.
 //
+// Setting Client.Mode to "fast" asks the server for sampled fast-mode
+// simulation on every simulating call — several times faster, deterministic,
+// with its deviation from exact mode bounded by sim.FastErrorBounds.
+//
 // Failures follow the service's uniform envelope: any 4xx/5xx response
 // decodes into an *APIError carrying the machine-readable code, the
 // human-readable message, and — on unknown-benchmark 404s — the
@@ -36,12 +40,35 @@ type Client struct {
 	BaseURL string
 	// HTTPClient is the transport; nil means http.DefaultClient.
 	HTTPClient *http.Client
+	// Mode selects the simulation fidelity for every simulating call:
+	// "exact" (full detail, byte-identical), "fast" (deterministic sampled
+	// sets, several times faster, error-bounded — see sim.FastErrorBounds),
+	// or empty for the server default (exact). It is sent as ?mode= on
+	// Stack, StackIntervals, Sweep, Analyze, AnalyzeIntervals and Advise;
+	// an unrecognized value fails with code "invalid_argument".
+	Mode string
 }
 
 // New builds a Client for the server at baseURL (scheme and host, no
 // trailing slash required).
 func New(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// addMode appends the client's Mode to a query, when set.
+func (c *Client) addMode(q url.Values) url.Values {
+	if c.Mode != "" {
+		q.Set("mode", c.Mode)
+	}
+	return q
+}
+
+// pathWithMode appends the client's Mode to a bare POST path, when set.
+func (c *Client) pathWithMode(path string) string {
+	if c.Mode == "" {
+		return path
+	}
+	return path + "?mode=" + url.QueryEscape(c.Mode)
 }
 
 // APIError is one failed request: the HTTP status plus the service's error
@@ -106,7 +133,7 @@ func (c *Client) Stack(ctx context.Context, bench string, threads, cores int) (s
 		q.Set("cores", strconv.Itoa(cores))
 	}
 	var rows []speedupstack.StackRow
-	if err := c.getJSON(ctx, "/v1/stack", q, &rows); err != nil {
+	if err := c.getJSON(ctx, "/v1/stack", c.addMode(q), &rows); err != nil {
 		return speedupstack.StackRow{}, err
 	}
 	if len(rows) != 1 {
@@ -126,7 +153,7 @@ func (c *Client) StackIntervals(ctx context.Context, bench string, threads, core
 		q.Set("intervals", strconv.Itoa(intervals))
 	}
 	var rep speedupstack.TimeSeriesReport
-	err := c.getJSON(ctx, "/v1/stack/intervals", q, &rep)
+	err := c.getJSON(ctx, "/v1/stack/intervals", c.addMode(q), &rep)
 	return rep, err
 }
 
@@ -134,7 +161,7 @@ func (c *Client) StackIntervals(ctx context.Context, bench string, threads, core
 // each other and the server's cache.
 func (c *Client) Sweep(ctx context.Context, cells []SweepCell) ([]speedupstack.StackRow, error) {
 	var rows []speedupstack.StackRow
-	err := c.postJSON(ctx, "/v1/sweep", map[string]any{"cells": cells}, &rows)
+	err := c.postJSON(ctx, c.pathWithMode("/v1/sweep"), map[string]any{"cells": cells}, &rows)
 	return rows, err
 }
 
@@ -145,7 +172,7 @@ func (c *Client) Analyze(ctx context.Context, spec speedupstack.Workload, thread
 		body["cores"] = cores
 	}
 	var rows []speedupstack.StackRow
-	if err := c.postJSON(ctx, "/v1/workloads/analyze", body, &rows); err != nil {
+	if err := c.postJSON(ctx, c.pathWithMode("/v1/workloads/analyze"), body, &rows); err != nil {
 		return speedupstack.StackRow{}, err
 	}
 	if len(rows) != 1 {
@@ -161,7 +188,7 @@ func (c *Client) AnalyzeIntervals(ctx context.Context, spec speedupstack.Workloa
 		body["cores"] = cores
 	}
 	var rep speedupstack.TimeSeriesReport
-	err := c.postJSON(ctx, "/v1/workloads/analyze", body, &rep)
+	err := c.postJSON(ctx, c.pathWithMode("/v1/workloads/analyze"), body, &rep)
 	return rep, err
 }
 
@@ -189,7 +216,7 @@ func (c *Client) Advise(ctx context.Context, bench string, maxThreads int) (spee
 		q.Set("max_threads", strconv.Itoa(maxThreads))
 	}
 	var a speedupstack.Advice
-	err := c.getJSON(ctx, "/v1/advise", q, &a)
+	err := c.getJSON(ctx, "/v1/advise", c.addMode(q), &a)
 	return a, err
 }
 

@@ -153,3 +153,49 @@ func TestClientAPIError(t *testing.T) {
 		t.Errorf("text error: %+v", ae)
 	}
 }
+
+// TestClientMode pins the client's fidelity knob: Mode="fast" rides every
+// simulating call as ?mode=fast, the server counts the runs as sampled, and
+// a bogus mode fails with the uniform invalid_argument envelope.
+func TestClientMode(t *testing.T) {
+	e := exp.NewEngine(sim.Default(), exp.WithWorkers(2))
+	srv := httptest.NewServer(service.New(service.Options{Engine: e}).Handler())
+	t.Cleanup(srv.Close)
+	c := New(srv.URL)
+	c.Mode = "fast"
+	ctx := context.Background()
+
+	row, err := c.Stack(ctx, testBench, 2, 0)
+	if err != nil {
+		t.Fatalf("fast stack: %v", err)
+	}
+	if row.Benchmark != testBench || row.Actual <= 0 {
+		t.Errorf("unexpected row: %+v", row)
+	}
+	if st := e.Stats(); st.FastCellRuns != 1 || st.CellRuns != 1 {
+		t.Fatalf("fast run not counted: %+v", st)
+	}
+
+	if _, err := c.Sweep(ctx, []SweepCell{{Bench: testBench, Threads: 4}}); err != nil {
+		t.Fatalf("fast sweep: %v", err)
+	}
+	if st := e.Stats(); st.FastCellRuns != st.CellRuns {
+		t.Fatalf("sweep cell not fast: %+v", st)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if !strings.Contains(m, "speedupd_sim_cell_runs_fast_total") ||
+		!strings.Contains(m, "speedupd_sim_cell_runs_exact_total") {
+		t.Errorf("metrics missing fidelity split:\n%s", m)
+	}
+
+	c.Mode = "bogus"
+	_, err = c.Stack(ctx, testBench, 2, 0)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != "invalid_argument" {
+		t.Fatalf("bogus mode error = %v", err)
+	}
+}

@@ -15,6 +15,8 @@
 //	experiments phases [-intervals 32] [-outdir DIR]
 //	experiments advise [-max-threads 16]
 //	experiments whatif [-threads 16]
+//	experiments fastcompare
+//	experiments all -mode fast
 //
 // The custom section is the bring-your-own-benchmark path: it sweeps the
 // workload described by -spec FILE (a JSON workload spec) across thread
@@ -28,8 +30,14 @@
 // recommendation. The whatif section runs the causal what-if engine
 // (internal/whatif) over every analogue at -threads threads, printing each
 // benchmark's top intervention with its predicted and re-simulated gains.
-// All four run only when named explicitly — "all" regenerates exactly the
-// paper's artifacts.
+// The fastcompare section runs the full validation grid in both simulation
+// modes and prints the validation table with exact-vs-fast delta columns —
+// the accuracy evidence behind sim.FastErrorBounds. All five run only when
+// named explicitly — "all" regenerates exactly the paper's artifacts.
+//
+// -mode fast runs every requested section on the sampled fast-mode machine
+// (several times faster, deterministic, error-bounded by
+// sim.FastErrorBounds); the default is the exact, byte-identical machine.
 package main
 
 import (
@@ -57,7 +65,8 @@ type section struct {
 
 // onDemand marks sections that run only when named explicitly, never under
 // "all" — "all" regenerates exactly the paper's artifacts.
-var onDemand = map[string]bool{"custom": true, "phases": true, "advise": true, "whatif": true}
+var onDemand = map[string]bool{"custom": true, "phases": true, "advise": true,
+	"whatif": true, "fastcompare": true}
 
 // sections is the single registry the command-line validation and the
 // execution loop both read, in output order.
@@ -234,6 +243,14 @@ var sections = []section{
 		}
 		return nil
 	}},
+	{"fastcompare", func(ctx context.Context, e *exp.Engine) error {
+		rows, err := exp.ValidationCompare(ctx, e)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatValidationCompare(rows))
+		return nil
+	}},
 	{"advise", func(ctx context.Context, e *exp.Engine) error {
 		names := workload.Names()
 		fmt.Printf("scaling advisor, sweep 1..%d (powers of two), %d analogues\n\n",
@@ -286,6 +303,7 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulation workers")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	quiet := flag.Bool("q", false, "suppress the progress line")
+	modeFlag := flag.String("mode", "exact", "simulation fidelity: exact (byte-identical) or fast (sampled, several times faster, error-bounded)")
 	flag.Parse()
 	which := "all"
 	if flag.NArg() > 0 {
@@ -324,7 +342,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "\rcells: %d/%d ", done, total)
 		}))
 	}
-	e := exp.NewEngine(sim.Default(), opts...)
+	mode, err := sim.ParseMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	e := exp.NewEngine(sim.Default().WithMode(mode), opts...)
 
 	failed := 0
 	for _, s := range sections {

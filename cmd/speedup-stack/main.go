@@ -9,6 +9,7 @@
 //	speedup-stack -spec mykernel.json -threads 16
 //	speedup-stack -bench ferret -advise [-max-threads 16] [-format svg]
 //	speedup-stack -bench cholesky -threads 16 -whatif [-interventions halve_lock_hold,double_llc]
+//	speedup-stack -bench cholesky -threads 16 -mode fast
 //	speedup-stack -list
 //
 // -spec FILE analyzes a bring-your-own-benchmark workload spec (the JSON
@@ -29,6 +30,13 @@
 // N*, the serial-fraction cross-check against the stack, and ranked
 // spec-field recommendations. svg draws the measured sweep with both
 // fitted curves overlaid.
+//
+// -mode fast measures the aggregate stack on the sampled fast-mode machine:
+// several times faster, deterministic, with its deviation from the exact
+// stack bounded by the documented sim.FastErrorBounds. The default, exact,
+// is byte-identical run to run. The advisor, what-if and interval paths
+// stay exact in this CLI (the speedupd service serves their fast variants
+// via ?mode=fast).
 //
 // -whatif switches to the causal what-if engine: each applicable catalog
 // intervention (halve the lock hold time, remove imbalance, double the LLC,
@@ -58,6 +66,7 @@ func main() {
 	maxThreads := flag.Int("max-threads", 16, "sweep top for -advise")
 	whatIf := flag.Bool("whatif", false, "run the causal what-if engine (predicted vs re-simulated intervention gains)")
 	interventions := flag.String("interventions", "", "comma-separated intervention IDs for -whatif (empty = full catalog)")
+	mode := flag.String("mode", "exact", "simulation fidelity: exact (byte-identical) or fast (sampled, several times faster, error-bounded)")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
 	flag.Parse()
 
@@ -71,6 +80,22 @@ func main() {
 	f, err := speedupstack.ParseFormat(*format)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fast := false
+	switch *mode {
+	case "", "exact":
+	case "fast":
+		fast = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mode %q (want exact or fast)\n", *mode)
+		os.Exit(2)
+	}
+	if fast && (*whatIf || *advise || *intervals > 0) {
+		// The advisor, what-if and interval reports are exact-mode paths in
+		// this CLI; the speedupd service serves their fast variants
+		// (?mode=fast).
+		fmt.Fprintln(os.Stderr, "-mode fast applies to the aggregate stack only; drop -advise/-whatif/-intervals or use speedupd's ?mode=fast")
 		os.Exit(2)
 	}
 	if *whatIf {
@@ -113,7 +138,7 @@ func main() {
 		}
 		return
 	}
-	res, err := measure(*spec, *bench, *threads)
+	res, err := measure(*spec, *bench, *threads, fast)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -132,14 +157,20 @@ func main() {
 }
 
 // measure resolves the workload — a spec file or a registered name — and
-// runs it.
-func measure(specPath, bench string, threads int) (speedupstack.Result, error) {
+// runs it in the requested fidelity.
+func measure(specPath, bench string, threads int, fast bool) (speedupstack.Result, error) {
 	if specPath == "" {
+		if fast {
+			return speedupstack.MeasureFast(bench, threads)
+		}
 		return speedupstack.Measure(bench, threads)
 	}
 	w, err := loadSpec(specPath)
 	if err != nil {
 		return speedupstack.Result{}, err
+	}
+	if fast {
+		return speedupstack.MeasureSpecFast(w, threads)
 	}
 	return speedupstack.MeasureSpec(w, threads)
 }

@@ -69,7 +69,13 @@ type ThreadCounters struct {
 	// spin grace period, wake latency, and ready-queue waiting).
 	YieldCycles uint64
 
-	// Oracle (ground-truth) counterparts.
+	// Oracle (ground-truth) counterparts. OracleATDAccesses counts the LLC
+	// accesses the oracle directory actually observed: in exact mode that is
+	// every LLC access, so the oracle's extrapolation factor is exactly 1;
+	// in fast mode only the detailed-set subset is walked and the oracle's
+	// ATD-derived counters are extrapolated by LLCAccesses/OracleATDAccesses,
+	// mirroring the estimator's own sampling-factor machinery.
+	OracleATDAccesses              uint64
 	OracleInterThreadMissStall     uint64
 	OracleInterThreadMissMemInterf uint64
 	OracleInterThreadHits          uint64
@@ -219,14 +225,24 @@ func OracleComponents(tp uint64, threads []ThreadCounters, cyclesPerInstr float6
 	var c Components
 	for i := range threads {
 		t := &threads[i]
-		c.NegLLC += float64(t.OracleInterThreadMissStall)
-		c.PosLLC += float64(t.OracleInterThreadHits) * avgMissPenalty(t)
-		if t.OracleMemInterference > t.OracleInterThreadMissMemInterf {
-			c.NegMem += float64(t.OracleMemInterference - t.OracleInterThreadMissMemInterf)
+		// The oracle's own sampling factor: exactly 1 in exact mode (the
+		// oracle observes every LLC access, and x/x is exactly 1.0 in IEEE
+		// arithmetic, so exact-mode results are bit-identical); the
+		// detailed-set extrapolation factor in fast mode.
+		factor := 1.0
+		if t.OracleATDAccesses != 0 && t.LLCAccesses != 0 {
+			factor = float64(t.LLCAccesses) / float64(t.OracleATDAccesses)
+		}
+		c.NegLLC += float64(t.OracleInterThreadMissStall) * factor
+		c.PosLLC += float64(t.OracleInterThreadHits) * factor * avgMissPenalty(t)
+		memI := float64(t.OracleMemInterference) -
+			float64(t.OracleInterThreadMissMemInterf)*factor
+		if memI > 0 {
+			c.NegMem += memI
 		}
 		c.Spin += float64(t.OracleSpinCycles)
 		c.Yield += float64(t.YieldCycles)
-		c.Coherence += float64(t.OracleCoherenceStall)
+		c.Coherence += float64(t.OracleCoherenceStall) * factor
 		c.ParallelOverhead += float64(t.OverheadInstrs) * cyclesPerInstr
 		if tp > t.FinishTime {
 			c.Imbalance += float64(tp - t.FinishTime)

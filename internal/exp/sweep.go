@@ -167,6 +167,12 @@ type Stats struct {
 	// SeqRuns and CellRuns are simulations actually executed.
 	SeqRuns  int
 	CellRuns int
+	// FastSeqRuns and FastCellRuns are the subset of those runs executed in
+	// sim.ModeFast (the sampled fast lane); the exact-mode counts are the
+	// differences. Fast and exact cells never alias in the memo — Mode is
+	// part of sim.Config, the memo key — so the split is exact.
+	FastSeqRuns  int
+	FastCellRuns int
 	// SeqHits and CellHits are requests satisfied by a memoized (or
 	// in-flight) entry.
 	SeqHits  int
@@ -206,6 +212,13 @@ type Engine struct {
 	// hook, if set, observes every simulation actually executed (kind is
 	// "seq", "cell" or "interval"). Intended for tests and instrumentation.
 	hook func(kind string, bench string, threads, cores int)
+
+	// intraShards, when positive, runs every cell simulation with
+	// sim.WithAccountingShards(intraShards): the tag-directory walks of a
+	// single run execute on worker goroutines (intra-run parallelism).
+	// Results are byte-identical by the sim package's shard contract, so
+	// this is engine tuning, not part of any memo key.
+	intraShards int
 
 	mu        sync.Mutex
 	seq       map[seqKey]*entry[uint64]
@@ -250,6 +263,21 @@ func WithProgress(f func(done, total int)) Option {
 // executed, with kind "seq", "cell" or "interval". Memo hits do not fire it.
 func WithRunHook(f func(kind, bench string, threads, cores int)) Option {
 	return func(e *Engine) { e.hook = f }
+}
+
+// WithIntraRunShards runs each cell simulation with n accounting shards
+// (sim.WithAccountingShards): one large cell spreads its tag-directory
+// walks over n extra OS threads instead of running on one goroutine.
+// Results are byte-identical for any n, so the option composes freely with
+// memoization and with WithWorkers — use it when cells are few and large
+// (a single /v1/stack request), skip it when a wide sweep already saturates
+// the host with one goroutine per cell. n <= 0 disables (the default).
+func WithIntraRunShards(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.intraShards = n
+		}
+	}
 }
 
 // WithCellMemoLimit bounds the outcome memo to at most n completed cells
@@ -509,6 +537,9 @@ func (e *Engine) runCell(ctx context.Context, k cellKey, b workload.Benchmark) (
 	}
 	e.mu.Lock()
 	e.stats.CellRuns++
+	if k.cfg.Mode == sim.ModeFast {
+		e.stats.FastCellRuns++
+	}
 	e.stats.InFlight++
 	e.mu.Unlock()
 	defer func() {
@@ -523,7 +554,11 @@ func (e *Engine) runCell(ctx context.Context, k cellKey, b workload.Benchmark) (
 	if err != nil {
 		return Outcome{}, err
 	}
-	res, err := sim.Run(cfg, progs, b.Spec.PipelineOptions(k.threads)...)
+	opts := b.Spec.PipelineOptions(k.threads)
+	if e.intraShards > 0 {
+		opts = append(opts, sim.WithAccountingShards(e.intraShards))
+	}
+	res, err := sim.Run(cfg, progs, opts...)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("%s x%d: %w", b.FullName(), k.threads, err)
 	}
@@ -567,6 +602,9 @@ func (e *Engine) runSeq(ctx context.Context, cfg sim.Config, b workload.Benchmar
 	}
 	e.mu.Lock()
 	e.stats.SeqRuns++
+	if cfg.Mode == sim.ModeFast {
+		e.stats.FastSeqRuns++
+	}
 	e.stats.InFlight++
 	e.mu.Unlock()
 	defer func() {

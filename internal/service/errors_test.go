@@ -43,7 +43,7 @@ func TestErrorEnvelopeShape(t *testing.T) {
 		{"bad threads", http.MethodGet, "/v1/stack?bench=" + testBench + "&threads=zero", "",
 			http.StatusBadRequest, "invalid_argument", "threads"},
 		{"unknown param", http.MethodGet, "/v1/stack?bench=" + testBench + "&threads=2&thread=8", "",
-			http.StatusBadRequest, "unknown_parameter", "bench, cores, format, threads"},
+			http.StatusBadRequest, "unknown_parameter", "bench, cores, format, mode, threads"},
 		{"unknown bench", http.MethodGet, "/v1/stack?bench=nosuch&threads=2", "",
 			http.StatusNotFound, "unknown_benchmark", "nosuch"},
 		{"method not allowed", http.MethodGet, "/v1/sweep", "",
@@ -53,7 +53,7 @@ func TestErrorEnvelopeShape(t *testing.T) {
 		{"analyze missing spec", http.MethodPost, "/v1/workloads/analyze", `{"threads":2}`,
 			http.StatusBadRequest, "invalid_argument", "missing spec"},
 		{"advise unknown param", http.MethodGet, "/v1/advise?bench=" + testBench + "&threads=2", "",
-			http.StatusBadRequest, "unknown_parameter", "bench, format, max_threads"},
+			http.StatusBadRequest, "unknown_parameter", "bench, format, max_threads, mode"},
 		{"benchmarks takes none", http.MethodGet, "/v1/benchmarks?format=json", "",
 			http.StatusBadRequest, "unknown_parameter", "no query parameters"},
 	}

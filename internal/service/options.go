@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/sim"
 	"repro/internal/stack"
 	"repro/internal/workload"
 )
@@ -30,6 +31,9 @@ type optionSpec struct {
 	intervals bool
 	// advise accepts bench and max_threads — the advisor GET shape.
 	advise bool
+	// mode accepts ?mode=exact|fast, the simulation fidelity. Endpoints
+	// without it always simulate in the engine's own mode.
+	mode bool
 }
 
 // params lists the accepted parameter names, sorted, for error messages.
@@ -47,6 +51,9 @@ func (o optionSpec) params() []string {
 	if o.advise {
 		names = append(names, "bench", "max_threads")
 	}
+	if o.mode {
+		names = append(names, "mode")
+	}
 	sort.Strings(names)
 	return names
 }
@@ -57,6 +64,7 @@ type requestOptions struct {
 	cell       exp.Cell
 	intervals  int
 	maxThreads int
+	mode       sim.Mode
 }
 
 // parseOptions parses and validates the request's query string against the
@@ -128,6 +136,13 @@ func parseOptions(r *http.Request, spec optionSpec) (requestOptions, *apiError) 
 			}
 			opts.maxThreads = n
 		}
+	}
+	if spec.mode {
+		m, err := sim.ParseMode(q.Get("mode"))
+		if err != nil {
+			return requestOptions{}, badRequest("%v", err)
+		}
+		opts.mode = m
 	}
 	return opts, nil
 }

@@ -4,13 +4,14 @@
 //
 // Endpoints:
 //
-//	GET  /v1/stack?bench=NAME&threads=N[&cores=M][&format=json|csv|svg|text]
-//	GET  /v1/stack/intervals?bench=NAME&threads=N[&intervals=K][&cores=M][&format=F]
-//	POST /v1/sweep        {"cells":[{"bench":"...","threads":N,"cores":M},
+//	GET  /v1/stack?bench=NAME&threads=N[&cores=M][&mode=exact|fast][&format=json|csv|svg|text]
+//	GET  /v1/stack/intervals?bench=NAME&threads=N[&intervals=K][&cores=M][&mode=F][&format=F]
+//	POST /v1/sweep[?mode=exact|fast]
+//	                      {"cells":[{"bench":"...","threads":N,"cores":M},
 //	                                {"spec":{...workload spec...},"threads":N}, ...]}
-//	POST /v1/workloads/analyze   {"spec":{...},"threads":N[,"cores":M][,"intervals":K]}
+//	POST /v1/workloads/analyze[?mode=F]  {"spec":{...},"threads":N[,"cores":M][,"intervals":K]}
 //	POST /v1/workloads/validate  {...workload spec...}  (dry run, no simulation)
-//	GET  /v1/advise?bench=NAME[&max_threads=M][&format=json|csv|svg|text]
+//	GET  /v1/advise?bench=NAME[&max_threads=M][&mode=F][&format=json|csv|svg|text]
 //	POST /v1/whatif       {"bench":"...","threads":N[,"cores":M]
 //	                       [,"interventions":["halve_lock_hold",...]]}
 //	                      (or "spec" instead of "bench", like /v1/sweep)
@@ -24,6 +25,19 @@
 // component breakdown (the slices sum to the aggregate; see
 // internal/stack.TimeSeries). The SVG format draws a stacked timeline
 // instead of the aggregate bar chart.
+//
+// Every simulating endpoint above that documents ?mode= accepts the
+// simulation fidelity: "exact" (the default) simulates every LLC set and
+// memory access in full detail and is byte-identical run to run, while
+// "fast" simulates only the deterministic 1-in-2^sim.Config.FastSetShift
+// subset of LLC sets, extrapolates the rest, and answers several times
+// faster with its deviation from exact mode bounded by sim.FastErrorBounds
+// (pinned in CI). On /v1/sweep the mode applies to every cell in the batch.
+// Fast and exact results never share a cache entry — the memo keys on the
+// full machine configuration, mode included — and /metrics splits
+// speedupd_sim_cell_runs_total into _exact_total and _fast_total so
+// operators can see which fidelity is paying the simulation bill. An
+// unknown mode is a 400 invalid_argument like any other malformed value.
 //
 // Workloads are first-class: wherever a cell names a registered benchmark
 // ("bench") it can instead carry an inline workload spec ("spec", the JSON
@@ -304,20 +318,39 @@ func (s *Server) simContext(r *http.Request) (context.Context, context.CancelFun
 	return context.WithTimeout(r.Context(), s.simTimeout)
 }
 
-// sweep runs cells on the engine, detaching from the request when its
-// context expires: the caller gets ctx.Err() promptly (504/408), while the
-// simulations keep running in the background and land in the cache —
-// deterministic work is never wasted, and a retry of the same request
-// becomes a cache hit. Background completion is still bounded by the
-// engine's worker pool and the simulator's MaxCycles safety net.
-func (s *Server) sweep(ctx context.Context, cells []exp.Cell) ([]exp.Outcome, error) {
+// modeConfig maps a parsed ?mode= onto the engine request's configuration
+// override: nil when the request asks for the engine's own mode (the common
+// case, which keeps the base-machine memo key), otherwise the base machine
+// re-moded. Fast and exact results never share a cache entry — the memo is
+// keyed by the full configuration, Mode included.
+func (s *Server) modeConfig(m sim.Mode) *sim.Config {
+	cfg := s.engine.Config()
+	if m == cfg.Mode {
+		return nil
+	}
+	cfg = cfg.WithMode(m)
+	return &cfg
+}
+
+// sweep runs cells on the engine (under cfg when non-nil, the base machine
+// otherwise), detaching from the request when its context expires: the
+// caller gets ctx.Err() promptly (504/408), while the simulations keep
+// running in the background and land in the cache — deterministic work is
+// never wasted, and a retry of the same request becomes a cache hit.
+// Background completion is still bounded by the engine's worker pool and
+// the simulator's MaxCycles safety net.
+func (s *Server) sweep(ctx context.Context, cells []exp.Cell, cfg *sim.Config) ([]exp.Outcome, error) {
+	reqs := make([]exp.Request, len(cells))
+	for i, c := range cells {
+		reqs[i] = exp.Request{Cell: c, Config: cfg}
+	}
 	type result struct {
 		outs []exp.Outcome
 		err  error
 	}
 	ch := make(chan result, 1)
 	go func() {
-		outs, err := s.engine.Sweep(context.Background(), cells)
+		outs, err := s.engine.Do(context.Background(), reqs)
 		ch <- result{outs, err}
 	}()
 	select {
@@ -332,14 +365,14 @@ func (s *Server) sweep(ctx context.Context, cells []exp.Cell) ([]exp.Outcome, er
 // detach-on-timeout discipline as sweep: the caller gets ctx.Err() promptly
 // while the simulation finishes in the background and lands in the interval
 // memo, so a retry is a hit.
-func (s *Server) measureIntervals(ctx context.Context, cell exp.Cell, count int) (exp.IntervalOutcome, error) {
+func (s *Server) measureIntervals(ctx context.Context, req exp.Request, count int) (exp.IntervalOutcome, error) {
 	type result struct {
 		out exp.IntervalOutcome
 		err error
 	}
 	ch := make(chan result, 1)
 	go func() {
-		out, err := s.engine.MeasureIntervals(context.Background(), exp.Request{Cell: cell}, count)
+		out, err := s.engine.MeasureIntervals(context.Background(), req, count)
 		ch <- result{out, err}
 	}()
 	select {
@@ -366,16 +399,17 @@ func (s *Server) respond(w http.ResponseWriter, f stack.Format, outs []exp.Outco
 	stack.Encode(w, f, bars)
 }
 
-// handleStack serves GET /v1/stack: one (benchmark, threads[, cores]) cell.
+// handleStack serves GET /v1/stack: one (benchmark, threads[, cores]) cell,
+// in the exact (default) or sampled fast simulation mode.
 func (s *Server) handleStack(w http.ResponseWriter, r *http.Request) {
-	opts, aerr := parseOptions(r, optionSpec{format: true, cell: true})
+	opts, aerr := parseOptions(r, optionSpec{format: true, cell: true, mode: true})
 	if aerr != nil {
 		writeError(w, r, aerr)
 		return
 	}
 	ctx, cancel := s.simContext(r)
 	defer cancel()
-	outs, err := s.sweep(ctx, []exp.Cell{opts.cell})
+	outs, err := s.sweep(ctx, []exp.Cell{opts.cell}, s.modeConfig(opts.mode))
 	if err != nil {
 		writeError(w, r, s.simAPIError(err))
 		return
@@ -389,14 +423,14 @@ func (s *Server) handleStack(w http.ResponseWriter, r *http.Request) {
 // sequential reference share /v1/stack's cache; the interval series has its
 // own memo keyed by (cell, K).
 func (s *Server) handleStackIntervals(w http.ResponseWriter, r *http.Request) {
-	opts, aerr := parseOptions(r, optionSpec{format: true, cell: true, intervals: true})
+	opts, aerr := parseOptions(r, optionSpec{format: true, cell: true, intervals: true, mode: true})
 	if aerr != nil {
 		writeError(w, r, aerr)
 		return
 	}
 	ctx, cancel := s.simContext(r)
 	defer cancel()
-	out, err := s.measureIntervals(ctx, opts.cell, opts.intervals)
+	out, err := s.measureIntervals(ctx, exp.Request{Cell: opts.cell, Config: s.modeConfig(opts.mode)}, opts.intervals)
 	if err != nil {
 		writeError(w, r, s.simAPIError(err))
 		return
@@ -410,9 +444,10 @@ type sweepRequest struct {
 }
 
 // handleSweep serves POST /v1/sweep: a batch of cells in one engine pass,
-// deduplicated against each other and the cache.
+// deduplicated against each other and the cache. ?mode=fast applies to
+// every cell in the batch.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	opts, aerr := parseOptions(r, optionSpec{format: true})
+	opts, aerr := parseOptions(r, optionSpec{format: true, mode: true})
 	if aerr != nil {
 		writeError(w, r, aerr)
 		return
@@ -452,7 +487,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.simContext(r)
 	defer cancel()
-	outs, err := s.sweep(ctx, cells)
+	outs, err := s.sweep(ctx, cells, s.modeConfig(opts.mode))
 	if err != nil {
 		writeError(w, r, s.simAPIError(err))
 		return
@@ -466,7 +501,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // engine keys on the spec's canonical fingerprint, so repeating a spec —
 // under any name, inline or registered — is a cache hit.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	opts, aerr := parseOptions(r, optionSpec{format: true})
+	opts, aerr := parseOptions(r, optionSpec{format: true, mode: true})
 	if aerr != nil {
 		writeError(w, r, aerr)
 		return
@@ -502,7 +537,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if count > 0 {
 		// Time-resolved analysis of the custom spec, sharing /v1/stack/
 		// intervals' memo and the aggregate's fingerprint-keyed cache.
-		out, err := s.measureIntervals(ctx, cell, count)
+		out, err := s.measureIntervals(ctx, exp.Request{Cell: cell, Config: s.modeConfig(opts.mode)}, count)
 		if err != nil {
 			writeError(w, r, s.simAPIError(err))
 			return
@@ -510,7 +545,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.respondSeries(w, opts.format, out)
 		return
 	}
-	outs, err := s.sweep(ctx, []exp.Cell{cell})
+	outs, err := s.sweep(ctx, []exp.Cell{cell}, s.modeConfig(opts.mode))
 	if err != nil {
 		writeError(w, r, s.simAPIError(err))
 		return
@@ -564,14 +599,14 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 // same detach-on-timeout discipline as sweep: the caller gets ctx.Err()
 // promptly while the sweep finishes in the background and lands in the
 // cell memo, so a retry is mostly (or entirely) cache hits.
-func (s *Server) advise(ctx context.Context, cell exp.Cell, maxThreads int) (scaling.Advice, error) {
+func (s *Server) advise(ctx context.Context, req exp.Request, maxThreads int) (scaling.Advice, error) {
 	type result struct {
 		a   scaling.Advice
 		err error
 	}
 	ch := make(chan result, 1)
 	go func() {
-		a, err := s.engine.Advise(context.Background(), exp.Request{Cell: cell}, maxThreads)
+		a, err := s.engine.Advise(context.Background(), req, maxThreads)
 		ch <- result{a, err}
 	}()
 	select {
@@ -587,14 +622,14 @@ func (s *Server) advise(ctx context.Context, cell exp.Cell, maxThreads int) (sca
 // memo as every other endpoint, so advising a benchmark that has already
 // been measured reuses those runs, and repeating an advise is free.
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
-	opts, aerr := parseOptions(r, optionSpec{format: true, advise: true})
+	opts, aerr := parseOptions(r, optionSpec{format: true, advise: true, mode: true})
 	if aerr != nil {
 		writeError(w, r, aerr)
 		return
 	}
 	ctx, cancel := s.simContext(r)
 	defer cancel()
-	a, err := s.advise(ctx, opts.cell, opts.maxThreads)
+	a, err := s.advise(ctx, exp.Request{Cell: opts.cell, Config: s.modeConfig(opts.mode)}, opts.maxThreads)
 	if err != nil {
 		writeError(w, r, s.simAPIError(err))
 		return
@@ -738,6 +773,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	fmt.Fprintf(w, "speedupd_sim_cell_runs_total %d\n", st.CellRuns)
+	// Sampled (fast-mode) vs exact cell runs, so operators can see which
+	// fidelity is paying the simulation bill. The two always sum to
+	// speedupd_sim_cell_runs_total.
+	fmt.Fprintf(w, "speedupd_sim_cell_runs_exact_total %d\n", st.CellRuns-st.FastCellRuns)
+	fmt.Fprintf(w, "speedupd_sim_cell_runs_fast_total %d\n", st.FastCellRuns)
 	fmt.Fprintf(w, "speedupd_sim_cell_memo_hits_total %d\n", st.CellHits)
 	fmt.Fprintf(w, "speedupd_sim_seq_runs_total %d\n", st.SeqRuns)
 	fmt.Fprintf(w, "speedupd_sim_seq_memo_hits_total %d\n", st.SeqHits)

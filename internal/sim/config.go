@@ -31,6 +31,16 @@ type Config struct {
 	// MaxCycles aborts runaway simulations (safety net, not a tuning knob).
 	MaxCycles uint64
 
+	// Mode selects exact (byte-identical) or sampled fast simulation. It is
+	// part of the configuration value on purpose: everything keyed by
+	// Config — the machine pool, the sweep engine's memo — separates fast
+	// and exact state automatically.
+	Mode Mode
+	// FastSetShift selects the 1-in-2^shift detailed LLC sets in ModeFast
+	// (ignored in ModeExact). It must not exceed ATDSampleShift, so every
+	// ATD-monitored set is also simulated in detail.
+	FastSetShift uint
+
 	CPU cpu.Config
 	L1  cache.Config
 	LLC cache.Config
@@ -47,10 +57,12 @@ type Config struct {
 // bus in front of 8 memory banks.
 func Default() Config {
 	return Config{
-		Cores:     16,
-		Quantum:   100,
-		MaxCycles: 4_000_000_000,
-		CPU:       cpu.Default(),
+		Cores:        16,
+		Quantum:      100,
+		MaxCycles:    4_000_000_000,
+		Mode:         ModeExact,
+		FastSetShift: 5,
+		CPU:          cpu.Default(),
 		L1: cache.Config{
 			SizeBytes: 64 << 10,
 			Ways:      8,
@@ -113,7 +125,27 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: ATD sample shift %d too large for %d LLC sets",
 			c.ATDSampleShift, c.LLC.Sets())
 	}
+	switch c.Mode {
+	case ModeExact:
+	case ModeFast:
+		if c.LLC.Sets()>>c.FastSetShift == 0 {
+			return fmt.Errorf("sim: fast set shift %d leaves no detailed sets for %d LLC sets",
+				c.FastSetShift, c.LLC.Sets())
+		}
+		if c.FastSetShift > c.ATDSampleShift {
+			return fmt.Errorf("sim: fast set shift %d exceeds ATD sample shift %d (ATD-monitored sets must be simulated in detail)",
+				c.FastSetShift, c.ATDSampleShift)
+		}
+	default:
+		return fmt.Errorf("sim: unknown mode %d", c.Mode)
+	}
 	return nil
+}
+
+// WithMode returns a copy of the configuration running in the given mode.
+func (c Config) WithMode(m Mode) Config {
+	c.Mode = m
+	return c
 }
 
 // WithCores returns a copy of the configuration resized to n cores.

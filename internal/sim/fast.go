@@ -1,0 +1,217 @@
+package sim
+
+import "repro/internal/trace"
+
+// Fast mode (Config.Mode == ModeFast) extends the paper's set-sampling idea
+// from the ATD into the simulation itself: only LLC sets with
+// set & (2^FastSetShift − 1) == 0 — the "detailed" sets, a deterministic
+// 1-in-2^FastSetShift stride — run the full L1/LLC/directory/DRAM model,
+// and only their misses generate memory traffic. Accesses to every other
+// set never touch the cache arrays at all; their whole hierarchy outcome is
+// extrapolated from the detailed sets:
+//
+//   - The L1 hit/miss outcome is predicted with a Bresenham-style
+//     accumulator tracking this core's detailed-set L1 hit rate (predicted
+//     hits cost nothing, exactly like real L1 hits; skipped-set store
+//     upgrades are not modeled).
+//   - A predicted L1 miss flows into a second Bresenham accumulator
+//     tracking this core's detailed-set LLC hit rate, so predicted hits are
+//     spread evenly through the access stream instead of bursting.
+//   - A predicted LLC miss is charged this core's integer-average detailed
+//     miss stall and memory interference; before any detailed miss exists
+//     the stall falls back to the uncontended memory round trip
+//     BlockingMissStall(RowHitCycles + BusCycles), a pure function of the
+//     configuration.
+//
+// The sampled quantum is also coarser: fast mode multiplies the relaxed-
+// synchronization quantum by fastQuantumScale, trading bounded extra skew
+// for proportionally fewer scheduler sweeps.
+//
+// Counter semantics feed the unmodified estimator: LLCAccesses counts the
+// full population (detailed and skipped) while the ATDs observe only
+// detailed sets — FastSetShift ≤ ATDSampleShift guarantees every
+// ATD-monitored set is detailed — so the run-time sampling factor
+// LLCAccesses/SampledATDAccesses extrapolates the interference counters to
+// the full population through the paper's own Section 4.2 machinery. The
+// oracle directory likewise samples at FastSetShift and is extrapolated by
+// LLCAccesses/OracleATDAccesses in core.OracleComponents.
+//
+// Everything is a deterministic function of (config, workload): same
+// inputs, byte-identical fast-mode results — just not exact-mode results.
+
+// fastQuantumScale multiplies the relaxed-synchronization quantum in fast
+// mode. Cross-core event skew stays bounded by the (scaled) quantum; the
+// per-quantum scheduler sweep runs proportionally less often.
+const fastQuantumScale = 4
+
+// fastCore is the per-core extrapolation state of one fast-mode run.
+type fastCore struct {
+	// detL1Accesses/detL1Hits count detailed-set accesses and their L1
+	// hits; their ratio drives the skipped-set L1 predictor. l1Credit is
+	// its Bresenham accumulator.
+	detL1Accesses uint64
+	detL1Hits     uint64
+	l1Credit      uint64
+	// detAccesses/detHits count detailed-set accesses that reached the LLC
+	// and the subset that hit; their ratio drives the LLC hit predictor.
+	detAccesses uint64
+	detHits     uint64
+	// hitCredit is the Bresenham accumulator: it gains detHits per skipped
+	// access and pays detAccesses per predicted hit.
+	hitCredit uint64
+	// Detailed blocking-load-miss totals, for average-cost charging.
+	detMissLoads       uint64
+	detMissStall       uint64
+	detMissInterfEst   uint64
+	detMissInterfTruth uint64
+}
+
+// memAccessFast is the ModeFast counterpart of memAccess.
+func (m *Machine) memAccessFast(t *thread, c int, op *trace.Op) {
+	t.time += m.computeCycles(uint64(op.N))
+	isLoad := op.Kind == trace.KindLoad
+
+	lineAddr := op.Addr >> m.llcLineShift
+	set := int(lineAddr & m.llcSetMask)
+	fc := &m.fastCores[c]
+	if uint64(set)&m.fastMask != 0 {
+		m.fastSkippedAccess(t, fc, isLoad)
+		return
+	}
+
+	// Detailed set: the exact-mode path plus extrapolation bookkeeping.
+	fc.detL1Accesses++
+	out := m.hier.Access(c, op.Addr, !isLoad)
+	if out.L1Hit {
+		fc.detL1Hits++
+		if out.Upgrade {
+			t.time += m.cfg.CPU.UpgradeStall
+		}
+		return
+	}
+
+	t.ct.LLCAccesses++
+	fc.detAccesses++
+	estHit, sampled, oraHit := false, false, false
+	walked := false
+	if m.acct && m.shardN == 0 {
+		tag := lineAddr >> m.llcSetBits
+		if m.atds[c].SampledSet(set) {
+			estHit, sampled = m.atds[c].AccessSetTag(set, tag)
+			t.ct.SampledATDAccesses++
+		}
+		oraHit, _ = m.oracleATDs[c].AccessSetTag(set, tag)
+		t.ct.OracleATDAccesses++
+		walked = true
+	}
+
+	if out.LLCHit {
+		fc.detHits++
+		stall := m.cfg.CPU.LLCHitStall
+		if out.DirtyForward {
+			stall += m.cfg.CPU.CoherenceForwardStall
+		}
+		if isLoad {
+			t.time += stall
+			if out.CoherenceMiss {
+				t.ct.OracleCoherenceStall += stall
+			}
+			if sampled && !estHit {
+				t.ct.SampledInterThreadHits++
+			}
+			if walked && !oraHit {
+				t.ct.OracleInterThreadHits++
+			}
+		}
+		if m.acct && m.shardN > 0 {
+			m.shardRecord(c, t.id, lineAddr, isLoad, true, 0, 0, 0)
+		}
+		return
+	}
+
+	// Detailed-set LLC miss: the only misses that reach the DRAM model in
+	// fast mode (the sampled subset of memory traffic).
+	res := m.memc.Access(t.time, c, op.Addr)
+	if out.LLCVictimDirty {
+		m.memc.Writeback(t.time, c, out.LLCVictimAddr)
+	}
+	if !isLoad {
+		if m.acct && m.shardN > 0 {
+			m.shardRecord(c, t.id, lineAddr, false, false, 0, 0, 0)
+		}
+		return
+	}
+
+	stall := m.cfg.CPU.BlockingMissStall(res.Latency)
+	t.time += stall
+	t.ct.LLCLoadMisses++
+	t.ct.StallLLCLoadMiss += stall
+
+	interfEst := m.cfg.CPU.ExposedInterference(res.InterferenceEstimate(), res.Latency)
+	interfTruth := m.cfg.CPU.ExposedInterference(res.InterferenceTruth(), res.Latency)
+	t.ct.MemInterferenceEst += interfEst
+	t.ct.OracleMemInterference += interfTruth
+
+	fc.detMissLoads++
+	fc.detMissStall += stall
+	fc.detMissInterfEst += interfEst
+	fc.detMissInterfTruth += interfTruth
+
+	if sampled && estHit {
+		t.ct.SampledInterThreadMissStall += stall
+		t.ct.SampledInterThreadMissMemInterf += interfEst
+	}
+	if oraHit {
+		t.ct.OracleInterThreadMissStall += stall
+		t.ct.OracleInterThreadMissMemInterf += interfTruth
+	}
+	if m.acct && m.shardN > 0 {
+		m.shardRecord(c, t.id, lineAddr, true, false, stall, interfEst, interfTruth)
+	}
+}
+
+// fastSkippedAccess handles an access to a non-detailed LLC set: predicted
+// L1, predicted LLC, no cache-array walk and no memory traffic.
+func (m *Machine) fastSkippedAccess(t *thread, fc *fastCore, isLoad bool) {
+	// Predicted L1 hit — the common case — costs nothing, like a real one.
+	if fc.detL1Accesses > 0 {
+		fc.l1Credit += fc.detL1Hits
+		if fc.l1Credit >= fc.detL1Accesses {
+			fc.l1Credit -= fc.detL1Accesses
+			return
+		}
+	}
+
+	// Predicted L1 miss: full-population access count; the sampling factors
+	// extrapolate the detailed-set interference counters over these.
+	t.ct.LLCAccesses++
+	if fc.detAccesses > 0 {
+		fc.hitCredit += fc.detHits
+		if fc.hitCredit >= fc.detAccesses {
+			fc.hitCredit -= fc.detAccesses
+			// Predicted LLC hit.
+			if isLoad {
+				t.time += m.cfg.CPU.LLCHitStall
+			}
+			return
+		}
+	}
+	// Predicted LLC miss. Stores retire through the store buffer; loads are
+	// charged this core's average detailed miss cost.
+	if !isLoad {
+		return
+	}
+	var stall, interfEst, interfTruth uint64
+	if fc.detMissLoads > 0 {
+		stall = fc.detMissStall / fc.detMissLoads
+		interfEst = fc.detMissInterfEst / fc.detMissLoads
+		interfTruth = fc.detMissInterfTruth / fc.detMissLoads
+	} else {
+		stall = m.cfg.CPU.BlockingMissStall(m.cfg.Mem.RowHitCycles + m.cfg.Mem.BusCycles)
+	}
+	t.time += stall
+	t.ct.LLCLoadMisses++
+	t.ct.StallLLCLoadMiss += stall
+	t.ct.MemInterferenceEst += interfEst
+	t.ct.OracleMemInterference += interfTruth
+}

@@ -1,0 +1,159 @@
+package sim_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// fastRunBench runs a registered workload in the given mode, optionally
+// with accounting shards.
+func fastRunBench(t *testing.T, name string, threads int, mode sim.Mode, opts ...sim.Option) sim.Result {
+	t.Helper()
+	b, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	cfg := sim.Default().WithCores(threads).WithMode(mode)
+	cfg.Policy = b.Spec.TunePolicy(cfg.Policy)
+	progs, err := b.Spec.Parallel(threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(cfg, progs, append(b.Spec.PipelineOptions(threads), opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want sim.Mode
+		ok   bool
+	}{
+		{"", sim.ModeExact, true},
+		{"exact", sim.ModeExact, true},
+		{"fast", sim.ModeFast, true},
+		{"bogus", sim.ModeExact, false},
+		{"FAST", sim.ModeExact, false},
+	} {
+		got, err := sim.ParseMode(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	if sim.ModeExact.String() != "exact" || sim.ModeFast.String() != "fast" {
+		t.Errorf("mode strings: %q, %q", sim.ModeExact, sim.ModeFast)
+	}
+}
+
+func TestFastConfigValidate(t *testing.T) {
+	cfg := sim.Default().WithMode(sim.ModeFast)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default fast config invalid: %v", err)
+	}
+	bad := cfg
+	bad.FastSetShift = bad.ATDSampleShift + 1
+	if err := bad.Validate(); err == nil ||
+		!strings.Contains(err.Error(), "ATD sample shift") {
+		t.Errorf("FastSetShift > ATDSampleShift accepted: %v", err)
+	}
+	bad = cfg
+	bad.Mode = sim.Mode(7)
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "unknown mode") {
+		t.Errorf("unknown mode accepted: %v", err)
+	}
+}
+
+// TestFastModeDeterministic pins fast mode's own determinism contract:
+// approximate relative to exact mode, but a pure function of
+// (config, workload) — repeated runs, pooled or fresh, are deeply equal.
+func TestFastModeDeterministic(t *testing.T) {
+	first := fastRunBench(t, "cholesky_splash2", 8, sim.ModeFast)
+	for i := 0; i < 2; i++ {
+		again := fastRunBench(t, "cholesky_splash2", 8, sim.ModeFast)
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("fast-mode rerun %d differs:\n got %+v\nwant %+v", i, again, first)
+		}
+	}
+}
+
+// TestPoolModeKeying pins the pool-recycling contract across modes: a pool
+// alternating fast and exact runs of the same workload must reproduce the
+// mode-pure results exactly — fast and exact machines never share recycled
+// state (Mode is part of Config, the pool key).
+func TestPoolModeKeying(t *testing.T) {
+	exact := fastRunBench(t, "ferret_parsec_medium", 4, sim.ModeExact)
+	fast := fastRunBench(t, "ferret_parsec_medium", 4, sim.ModeFast)
+	if reflect.DeepEqual(exact.PerThread, fast.PerThread) {
+		t.Fatal("fast and exact runs produced identical counters; sampling had no effect")
+	}
+	// The helper goes through the shared default pool, so by now both
+	// configurations have pooled machines. Alternate modes and diff.
+	for pass := 0; pass < 2; pass++ {
+		gotE := fastRunBench(t, "ferret_parsec_medium", 4, sim.ModeExact)
+		gotF := fastRunBench(t, "ferret_parsec_medium", 4, sim.ModeFast)
+		if !reflect.DeepEqual(gotE, exact) {
+			t.Fatalf("pass %d: exact result drifted after fast runs on the pool", pass)
+		}
+		if !reflect.DeepEqual(gotF, fast) {
+			t.Fatalf("pass %d: fast result drifted after exact runs on the pool", pass)
+		}
+	}
+}
+
+// TestAccountingShardsByteIdentical pins the intra-run parallelism
+// contract: diverting the tag-directory walks to worker goroutines changes
+// wall-clock behavior only — the Result is byte-identical to inline
+// accounting in both modes, for any shard count.
+func TestAccountingShardsByteIdentical(t *testing.T) {
+	for _, mode := range []sim.Mode{sim.ModeExact, sim.ModeFast} {
+		inline := fastRunBench(t, "water-nsquared_splash2", 8, mode)
+		for _, shards := range []int{1, 3, 8} {
+			got := fastRunBench(t, "water-nsquared_splash2", 8, mode,
+				sim.WithAccountingShards(shards))
+			if !reflect.DeepEqual(got, inline) {
+				t.Fatalf("mode=%v shards=%d: sharded result differs from inline", mode, shards)
+			}
+		}
+	}
+}
+
+// TestShardsAbortCleanly pins the MaxCycles error path: a run aborted
+// mid-flight must still flush and join its shard workers (a leak would
+// deadlock or trip the race detector here).
+func TestShardsAbortCleanly(t *testing.T) {
+	b, _ := workload.ByName("cholesky_splash2")
+	cfg := sim.Default().WithCores(8)
+	cfg.Policy = b.Spec.TunePolicy(cfg.Policy)
+	cfg.MaxCycles = cfg.Quantum // abort after the first quantum
+	progs, err := b.Spec.Parallel(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.Run(cfg, progs, append(b.Spec.PipelineOptions(8),
+		sim.WithAccountingShards(4))...)
+	if err == nil || !strings.Contains(err.Error(), "MaxCycles") {
+		t.Fatalf("expected MaxCycles abort, got %v", err)
+	}
+}
+
+// TestFastModeSkipsWork sanity-checks that fast mode actually samples: the
+// detailed-set subset reaches the memory controller, so fast mode issues
+// far fewer DRAM accesses than exact mode for the same workload.
+func TestFastModeSkipsWork(t *testing.T) {
+	exact := fastRunBench(t, "canneal_parsec_small", 8, sim.ModeExact)
+	fast := fastRunBench(t, "canneal_parsec_small", 8, sim.ModeFast)
+	if fast.MemStats.Accesses*2 > exact.MemStats.Accesses {
+		t.Errorf("fast mode did not reduce memory traffic: %d vs %d DRAM accesses",
+			fast.MemStats.Accesses, exact.MemStats.Accesses)
+	}
+	if fast.TotalOps != exact.TotalOps {
+		t.Errorf("fast mode changed the op stream: %d vs %d ops", fast.TotalOps, exact.TotalOps)
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/atd"
 	"repro/internal/cache"
@@ -103,6 +104,28 @@ type Machine struct {
 	// which contribute only Tp) skip the tag-directory walks entirely.
 	acct bool
 
+	// Fast-mode state (Config.Mode == ModeFast, fast.go): fastMask selects
+	// the detailed LLC sets (set&fastMask == 0) and fastCores holds the
+	// per-core extrapolation accumulators.
+	fast      bool
+	fastMask  uint64
+	fastCores []fastCore
+
+	// Accounting-shard state (WithAccountingShards, shards.go): shardN
+	// worker goroutines replay the deferred tag-directory walks; zero means
+	// inline accounting.
+	shardN       int
+	shardCh      []chan shardBatch
+	shardBufs    [][]atdRec
+	shardParts   [][]threadCounters
+	shardWG      sync.WaitGroup
+	shardBufPool sync.Pool
+
+	// quantum is the effective relaxed-synchronization quantum of the
+	// current run: cfg.Quantum, scaled in fast mode, or the whole horizon
+	// for the single-threaded single-core shape. Set by Run.
+	quantum uint64
+
 	// ops counts executed trace operations (Result.TotalOps).
 	ops uint64
 
@@ -161,11 +184,22 @@ func NewMachine(cfg Config, progs []trace.Program) (*Machine, error) {
 		m.dispShift = uint(bits.TrailingZeros64(w))
 		m.dispRound = w - 1
 	}
+	// In fast mode the oracle directory samples at the detailed-set stride
+	// (it can only ever observe detailed sets) and its counters are
+	// extrapolated by LLCAccesses/OracleATDAccesses; in exact mode it keeps
+	// full coverage, making that factor exactly 1.
+	oracleShift := uint(0)
+	if cfg.Mode == ModeFast {
+		m.fast = true
+		m.fastMask = uint64(1)<<cfg.FastSetShift - 1
+		m.fastCores = make([]fastCore, cfg.Cores)
+		oracleShift = cfg.FastSetShift
+	}
 	m.atds = make([]*atd.Directory, cfg.Cores)
 	m.oracleATDs = make([]*atd.Directory, cfg.Cores)
 	for c := 0; c < cfg.Cores; c++ {
 		m.atds[c] = atd.New(cfg.atdConfig(cfg.ATDSampleShift))
-		m.oracleATDs[c] = atd.New(cfg.atdConfig(0))
+		m.oracleATDs[c] = atd.New(cfg.atdConfig(oracleShift))
 	}
 	m.threads = make([]*thread, len(progs))
 	for i, p := range progs {
@@ -197,6 +231,10 @@ func (m *Machine) reset(progs []trace.Program) error {
 	m.clock, m.finished, m.ops = 0, 0, 0
 	m.acct = true
 	m.snapEvery, m.nextSnap, m.snaps = 0, 0, nil
+	m.shardN = 0
+	for i := range m.fastCores {
+		m.fastCores[i] = fastCore{}
+	}
 	m.hier.Reset()
 	m.memc.Reset()
 	for _, d := range m.atds {
@@ -298,7 +336,20 @@ func syncPC(kind waitKind, id uint32) uint64 {
 
 // Run executes the machine to completion and returns the result.
 func (m *Machine) Run() (Result, error) {
+	// Accounting shards only make sense when there is accounting to shard,
+	// and are incompatible with interval snapshots (which read the
+	// cumulative counters mid-run). memAccess keys off shardN alone, so
+	// normalize it here.
+	if m.shardN > 0 && (!m.acct || m.snapEvery != 0) {
+		m.shardN = 0
+	}
+	if m.shardN > 0 {
+		m.startShards()
+	}
 	quantum := m.cfg.Quantum
+	if m.fast {
+		quantum *= fastQuantumScale
+	}
 	if len(m.threads) == 1 && m.cfg.Cores == 1 {
 		// One thread on one core — the sequential reference shape — has no
 		// other actor contending for any shared resource, so the relaxed
@@ -314,8 +365,12 @@ func (m *Machine) Run() (Result, error) {
 			quantum = m.cfg.MaxCycles
 		}
 	}
+	m.quantum = quantum
 	for m.finished < len(m.threads) {
 		if m.clock >= m.cfg.MaxCycles {
+			if m.shardN > 0 {
+				m.drainShards() // no worker goroutine outlives the run
+			}
 			return Result{}, fmt.Errorf("sim: exceeded MaxCycles=%d with %d/%d threads finished",
 				m.cfg.MaxCycles, m.finished, len(m.threads))
 		}
@@ -331,6 +386,9 @@ func (m *Machine) Run() (Result, error) {
 		}
 		m.clock = qEnd
 	}
+	if m.shardN > 0 {
+		m.drainShards()
+	}
 	return m.result(), nil
 }
 
@@ -344,8 +402,8 @@ func (m *Machine) runCore(c int, qEnd uint64) {
 				return
 			}
 			now := m.coreIdleAt[c]
-			if now < qEnd-m.cfg.Quantum {
-				now = qEnd - m.cfg.Quantum
+			if now < qEnd-m.quantum {
+				now = qEnd - m.quantum
 			}
 			if now >= qEnd {
 				return

@@ -5,8 +5,13 @@ import "repro/internal/trace"
 // memAccess walks one load or store through the memory hierarchy, charging
 // stalls to the thread and feeding both the estimator's accounting hardware
 // (sampled ATD, ORA-based memory interference) and the oracle (full-coverage
-// ATD, exact interference attribution).
+// ATD, exact interference attribution). In ModeFast it dispatches to the
+// sampled path (fast.go) instead.
 func (m *Machine) memAccess(t *thread, c int, op *trace.Op) {
+	if m.fast {
+		m.memAccessFast(t, c, op)
+		return
+	}
 	// Dispatch slots of the memory instruction itself.
 	t.time += m.computeCycles(uint64(op.N))
 	isLoad := op.Kind == trace.KindLoad
@@ -25,17 +30,23 @@ func (m *Machine) memAccess(t *thread, c int, op *trace.Op) {
 	// hardware ATD observes every LLC access of its core (paper Section
 	// 4.1); only sampled sets are backed by state. Both directories mirror
 	// the LLC's geometry, so the address is decomposed once and the same
-	// (set, tag) pair drives the estimator and the oracle walk.
+	// (set, tag) pair drives the estimator and the oracle walk. With
+	// accounting shards active the walks — and the counters derived from
+	// their hit/miss answers — are deferred to the owning shard worker
+	// instead (shards.go); the record carries everything the walk needs.
 	t.ct.LLCAccesses++
+	lineAddr := op.Addr >> m.llcLineShift
 	estHit, sampled, oraHit := false, false, false
-	if m.acct {
-		lineAddr := op.Addr >> m.llcLineShift
+	walked := false
+	if m.acct && m.shardN == 0 {
 		set, tag := int(lineAddr&m.llcSetMask), lineAddr>>m.llcSetBits
 		if m.atds[c].SampledSet(set) {
 			estHit, sampled = m.atds[c].AccessSetTag(set, tag)
 			t.ct.SampledATDAccesses++
 		}
 		oraHit, _ = m.oracleATDs[c].AccessSetTag(set, tag)
+		t.ct.OracleATDAccesses++
+		walked = true
 	}
 
 	if out.LLCHit {
@@ -55,9 +66,12 @@ func (m *Machine) memAccess(t *thread, c int, op *trace.Op) {
 			if sampled && !estHit {
 				t.ct.SampledInterThreadHits++
 			}
-			if !oraHit {
+			if walked && !oraHit {
 				t.ct.OracleInterThreadHits++
 			}
+		}
+		if m.acct && m.shardN > 0 {
+			m.shardRecord(c, t.id, lineAddr, isLoad, true, 0, 0, 0)
 		}
 		return
 	}
@@ -70,6 +84,9 @@ func (m *Machine) memAccess(t *thread, c int, op *trace.Op) {
 		m.memc.Writeback(t.time, c, out.LLCVictimAddr)
 	}
 	if !isLoad {
+		if m.acct && m.shardN > 0 {
+			m.shardRecord(c, t.id, lineAddr, false, false, 0, 0, 0)
+		}
 		return
 	}
 
@@ -94,5 +111,8 @@ func (m *Machine) memAccess(t *thread, c int, op *trace.Op) {
 	if oraHit {
 		t.ct.OracleInterThreadMissStall += stall
 		t.ct.OracleInterThreadMissMemInterf += interfTruth
+	}
+	if m.acct && m.shardN > 0 {
+		m.shardRecord(c, t.id, lineAddr, true, false, stall, interfEst, interfTruth)
 	}
 }

@@ -1,0 +1,191 @@
+package sim
+
+// Accounting shards: intra-run parallelism for the tag-directory walks.
+//
+// The accounting hardware (per-core sampled ATD + oracle directory) never
+// affects timing — its walks only feed per-thread interference counters —
+// so they are the one part of a quantum-ordered deterministic simulation
+// that can run concurrently with it. With WithAccountingShards(n) the main
+// simulation goroutine stops walking the directories inline and instead
+// records each LLC access (shardRecord); n worker goroutines replay the
+// records against the directories and accumulate the ATD-derived counters
+// into per-shard partials, merged into the per-thread counters before the
+// Result is assembled.
+//
+// Determinism is preserved exactly, not approximately:
+//
+//   - Each core's directories are owned by one worker (shard = core mod n),
+//     and records are produced by the single simulation goroutine in
+//     program order and delivered over a per-shard FIFO channel — so every
+//     directory observes the same access sequence as the inline walk.
+//   - Counter accumulation is commutative addition, merged after all
+//     workers join, so totals are bit-identical to the inline path.
+//
+// Shards are an execution option, not part of Config: results are
+// byte-identical with any shard count (the shard determinism test pins
+// this), so they must not split the machine pool or the sweep memo.
+// Sharding is disabled automatically when accounting is off (nothing to
+// walk) or interval snapshots are active (snapshots read the cumulative
+// counters mid-run, which deferred accounting would lag).
+
+// atdRec is one deferred directory walk: an LLC access with everything the
+// walk's counter updates need.
+type atdRec struct {
+	lineAddr    uint64
+	stall       uint64
+	interfEst   uint64
+	interfTruth uint64
+	tid         int32
+	isLoad      bool
+	llcHit      bool
+}
+
+// shardBatch is a run of records for one core, in program order.
+type shardBatch struct {
+	core int
+	recs []atdRec
+}
+
+// shardBatchSize is the per-core record buffer capacity; one channel send
+// per batch amortizes synchronization over the records.
+const shardBatchSize = 256
+
+// shardRecord defers one LLC access's directory walk to core c's shard.
+func (m *Machine) shardRecord(c, tid int, lineAddr uint64,
+	isLoad, llcHit bool, stall, interfEst, interfTruth uint64) {
+	buf := append(m.shardBufs[c], atdRec{
+		lineAddr:    lineAddr,
+		stall:       stall,
+		interfEst:   interfEst,
+		interfTruth: interfTruth,
+		tid:         int32(tid),
+		isLoad:      isLoad,
+		llcHit:      llcHit,
+	})
+	if len(buf) == shardBatchSize {
+		m.shardCh[c%m.shardN] <- shardBatch{core: c, recs: buf}
+		buf = m.getShardBuf()
+	}
+	m.shardBufs[c] = buf
+}
+
+// startShards launches the worker goroutines for the run.
+func (m *Machine) startShards() {
+	n := m.shardN
+	m.shardCh = make([]chan shardBatch, n)
+	for s := range m.shardCh {
+		m.shardCh[s] = make(chan shardBatch, 64)
+	}
+	m.shardBufs = make([][]atdRec, m.cfg.Cores)
+	for c := range m.shardBufs {
+		m.shardBufs[c] = m.getShardBuf()
+	}
+	m.shardParts = make([][]threadCounters, n)
+	for s := range m.shardParts {
+		m.shardParts[s] = make([]threadCounters, len(m.threads))
+	}
+	m.shardWG.Add(n)
+	for s := 0; s < n; s++ {
+		go m.shardWorker(s)
+	}
+}
+
+// drainShards flushes the per-core buffers, joins the workers, and merges
+// the per-shard partial counters into the live per-thread counters. It is
+// called on every exit from Run — success or MaxCycles abort — so no
+// worker goroutine outlives its run.
+func (m *Machine) drainShards() {
+	for c, buf := range m.shardBufs {
+		if len(buf) > 0 {
+			m.shardCh[c%m.shardN] <- shardBatch{core: c, recs: buf}
+			m.shardBufs[c] = nil
+		}
+	}
+	for _, ch := range m.shardCh {
+		close(ch)
+	}
+	m.shardWG.Wait()
+	for _, part := range m.shardParts {
+		for tid := range part {
+			p := &part[tid]
+			ct := &m.threads[tid].ct
+			ct.SampledATDAccesses += p.sampledATDAccesses
+			ct.SampledInterThreadMissStall += p.sampledInterThreadMissStall
+			ct.SampledInterThreadHits += p.sampledInterThreadHits
+			ct.SampledInterThreadMissMemInterf += p.sampledInterThreadMissMemInterf
+			ct.OracleATDAccesses += p.oracleATDAccesses
+			ct.OracleInterThreadMissStall += p.oracleInterThreadMissStall
+			ct.OracleInterThreadMissMemInterf += p.oracleInterThreadMissMemInterf
+			ct.OracleInterThreadHits += p.oracleInterThreadHits
+		}
+	}
+	m.shardCh, m.shardBufs, m.shardParts = nil, nil, nil
+}
+
+// threadCounters is the shard-local accumulator: exactly the ATD-derived
+// subset of core.ThreadCounters a worker can touch.
+type threadCounters struct {
+	sampledATDAccesses              uint64
+	sampledInterThreadMissStall     uint64
+	sampledInterThreadHits          uint64
+	sampledInterThreadMissMemInterf uint64
+	oracleATDAccesses               uint64
+	oracleInterThreadMissStall      uint64
+	oracleInterThreadMissMemInterf  uint64
+	oracleInterThreadHits           uint64
+}
+
+// shardWorker replays deferred walks for every core owned by shard s.
+func (m *Machine) shardWorker(s int) {
+	defer m.shardWG.Done()
+	part := m.shardParts[s]
+	for b := range m.shardCh[s] {
+		atds, oracle := m.atds[b.core], m.oracleATDs[b.core]
+		for i := range b.recs {
+			r := &b.recs[i]
+			ct := &part[r.tid]
+			set, tag := int(r.lineAddr&m.llcSetMask), r.lineAddr>>m.llcSetBits
+			estHit, sampled := false, false
+			if atds.SampledSet(set) {
+				estHit, sampled = atds.AccessSetTag(set, tag)
+				ct.sampledATDAccesses++
+			}
+			oraHit, _ := oracle.AccessSetTag(set, tag)
+			ct.oracleATDAccesses++
+			if r.llcHit {
+				if r.isLoad {
+					if sampled && !estHit {
+						ct.sampledInterThreadHits++
+					}
+					if !oraHit {
+						ct.oracleInterThreadHits++
+					}
+				}
+			} else if r.isLoad {
+				if sampled && estHit {
+					ct.sampledInterThreadMissStall += r.stall
+					ct.sampledInterThreadMissMemInterf += r.interfEst
+				}
+				if oraHit {
+					ct.oracleInterThreadMissStall += r.stall
+					ct.oracleInterThreadMissMemInterf += r.interfTruth
+				}
+			}
+		}
+		m.putShardBuf(b.recs)
+	}
+}
+
+// getShardBuf returns an empty record buffer, recycled when possible.
+func (m *Machine) getShardBuf() []atdRec {
+	if p, ok := m.shardBufPool.Get().(*[]atdRec); ok {
+		return (*p)[:0]
+	}
+	return make([]atdRec, 0, shardBatchSize)
+}
+
+// putShardBuf recycles a consumed record buffer.
+func (m *Machine) putShardBuf(b []atdRec) {
+	b = b[:0]
+	m.shardBufPool.Put(&b)
+}

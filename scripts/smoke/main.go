@@ -105,6 +105,26 @@ func main() {
 	expect("whatif repeat", len(wrep2.Predictions) == 1 &&
 		wrep2.Predictions[0].Intervention == "double_llc", "report %+v", wrep2)
 
+	// Fast mode: the sampled fidelity rides the same wire surface via
+	// Client.Mode. The fast cell never aliases the exact one in the memo,
+	// so this is exactly one new (sampled) cell run — visible in the
+	// fidelity split of the metrics block below — and its estimate stays
+	// within the documented bounds of the exact estimate (the full
+	// per-component contract, sim.FastErrorBounds, is pinned by CI's
+	// fast-vs-exact regression test).
+	fc := client.New(*base)
+	fc.Mode = "fast"
+	frow, err := fc.Stack(ctx, bench, 8, 0)
+	check("fast stack", err)
+	expect("fast stack", frow.Benchmark == bench && frow.Actual > 0, "row %+v", frow)
+	d := frow.Estimated - row.Estimated
+	expect("fast stack", d < 3.6 && d > -3.6,
+		"fast estimate %v too far from exact %v", frow.Estimated, row.Estimated)
+	// Repeating the fast cell is a memo hit, like any other cell.
+	frow2, err := fc.Stack(ctx, bench, 8, 0)
+	check("fast stack repeat", err)
+	expect("fast stack repeat", frow2 == frow, "fast rows differ: %+v vs %+v", frow2, frow)
+
 	// The uniform error envelope: a typo'd benchmark is a 404 whose
 	// suggestion is machine-readable, an undeclared query parameter is
 	// a 400 with its own stable code, and a typo'd what-if intervention is
@@ -124,15 +144,26 @@ func main() {
 	expect("unknown-intervention envelope", ae.StatusCode == 404 &&
 		ae.Code == "unknown_intervention" && ae.Suggestion == "double_llc",
 		"APIError %+v", ae)
+	// An unknown simulation mode is a 400 with the uniform invalid_argument
+	// envelope, like any other malformed value.
+	fc.Mode = "bogus"
+	_, err = fc.Stack(ctx, bench, 8, 0)
+	expect("bad-mode envelope", errors.As(err, &ae), "error %v", err)
+	expect("bad-mode envelope", ae.StatusCode == 400 && ae.Code == "invalid_argument",
+		"APIError %+v", ae)
 
 	// Metrics: the run count pins the cache discipline of everything above —
 	// stack (1 run, shared by svg/intervals), analyze (1), advise (threads
-	// 1/2/4 new, 8 cached: 3), what-if (baseline cached, 4 mutated cells);
-	// the what-if repeat, the subset, and every error ran nothing.
+	// 1/2/4 new, 8 cached: 3), what-if (baseline cached, 4 mutated cells),
+	// fast stack (1 sampled run, repeat cached); the what-if repeat, the
+	// subset, and every error ran nothing. The fidelity split counts the
+	// sampled run separately from the nine exact ones.
 	metrics, err := c.Metrics(ctx)
 	check("metrics", err)
 	for _, want := range []string{
-		"speedupd_sim_cell_runs_total 9",
+		"speedupd_sim_cell_runs_total 10",
+		"speedupd_sim_cell_runs_exact_total 9",
+		"speedupd_sim_cell_runs_fast_total 1",
 		"speedupd_simulated_ops_total",
 		"speedupd_simulated_ops_per_second",
 		`speedupd_requests_total{path="/v1/advise"}`,

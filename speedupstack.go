@@ -114,6 +114,38 @@ func Measure(benchmark string, threads int) (Result, error) {
 	return Result{Benchmark: b.FullName(), Threads: threads, Stack: out.Stack}, nil
 }
 
+// MeasureFast is Measure in sampled fast mode (sim.ModeFast): only a
+// deterministic 1-in-2^shift subset of LLC sets runs the detailed cache and
+// memory model and the rest is extrapolated, cutting wall-clock by >3x on
+// the full machine while keeping every stack component within the
+// documented sim.FastErrorBounds of the exact-mode result. Fast mode is
+// deterministic for a fixed (benchmark, threads) — just not byte-identical
+// to Measure. Use it for interactive exploration and wide sweeps; use
+// Measure when results must be reproducible against the golden hashes.
+func MeasureFast(benchmark string, threads int) (Result, error) {
+	b, ok := workload.ByName(benchmark)
+	if !ok {
+		return Result{}, workload.UnknownBenchmarkError(benchmark)
+	}
+	r := exp.NewRunner(sim.Default().WithMode(sim.ModeFast))
+	out, err := r.Run(b, threads)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Benchmark: b.FullName(), Threads: threads, Stack: out.Stack}, nil
+}
+
+// MeasureSpecFast is MeasureSpec in sampled fast mode — the custom-workload
+// counterpart of MeasureFast, with the same accuracy contract.
+func MeasureSpecFast(w Workload, threads int) (Result, error) {
+	r := exp.NewRunner(sim.Default().WithMode(sim.ModeFast))
+	out, err := r.Run(workload.Benchmark{Spec: w}, threads)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Benchmark: out.Bench.FullName(), Threads: threads, Stack: out.Stack}, nil
+}
+
 // MeasureSpec is Measure for a custom workload: it runs w (which need not —
 // and usually does not — exist in the registry) with the given thread count
 // on the default machine and returns its speedup stack. A spec identical to

@@ -98,6 +98,50 @@ func TestMeasureAndRender(t *testing.T) {
 	}
 }
 
+// TestMeasureFast pins the root fast-mode API: sampled runs produce a
+// well-formed stack within the documented bounds of the exact result, both
+// for registered analogues and custom specs, and are themselves
+// deterministic.
+func TestMeasureFast(t *testing.T) {
+	exact, err := Measure("swaptions_parsec_small", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := MeasureFast("swaptions_parsec_small", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Threads != 8 || fast.Stack.N != 8 {
+		t.Fatalf("unexpected shape: %+v", fast)
+	}
+	if d := fast.Stack.Estimated() - exact.Stack.Estimated(); d > 3.6 || d < -3.6 {
+		t.Fatalf("fast estimate %v too far from exact %v",
+			fast.Stack.Estimated(), exact.Stack.Estimated())
+	}
+	again, err := MeasureFast("swaptions_parsec_small", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stack != fast.Stack {
+		t.Fatal("MeasureFast is not deterministic")
+	}
+	if _, err := MeasureFast("no-such-benchmark", 4); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+
+	w, err := ParseWorkload([]byte(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := MeasureSpecFast(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Benchmark != "roottest" || sf.Stack.N != 4 {
+		t.Fatalf("unexpected spec result: %+v", sf)
+	}
+}
+
 func TestMeasureAllBatch(t *testing.T) {
 	benches := []string{"swaptions_parsec_small", "blackscholes_parsec_small"}
 	results, err := MeasureAll(benches, []int{2, 4})
