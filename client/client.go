@@ -6,6 +6,9 @@
 // Setting Client.Mode to "fast" asks the server for sampled fast-mode
 // simulation on every simulating call — several times faster, deterministic,
 // with its deviation from exact mode bounded by sim.FastErrorBounds.
+// Setting Client.Retries lets idempotent GETs ride out the server's
+// overload shedding (429, 503) with jittered backoff that honors
+// Retry-After; POSTs are never retried.
 //
 // Failures follow the service's uniform envelope: any 4xx/5xx response
 // decodes into an *APIError carrying the machine-readable code, the
@@ -25,10 +28,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	speedupstack "repro"
 )
@@ -47,6 +52,14 @@ type Client struct {
 	// Stack, StackIntervals, Sweep, Analyze, AnalyzeIntervals and Advise;
 	// an unrecognized value fails with code "invalid_argument".
 	Mode string
+	// Retries is the number of extra attempts for idempotent GET requests
+	// answered 429 (shed or rate-limited) or 503. Zero, the default,
+	// disables retrying. Each retry waits the server's Retry-After when
+	// the response carries one, otherwise an exponential backoff from
+	// 100ms, with jitter either way; the request context bounds the total
+	// wait. POSTs are never retried — a sweep or analyze could otherwise
+	// run twice.
+	Retries int
 }
 
 // New builds a Client for the server at baseURL (scheme and host, no
@@ -280,7 +293,7 @@ func (c *Client) Raw(ctx context.Context, path string, query url.Values, accept 
 	if accept != "" {
 		req.Header.Set("Accept", accept)
 	}
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.send(req)
 	if err != nil {
 		return nil, "", err
 	}
@@ -300,6 +313,49 @@ func (c *Client) httpClient() *http.Client {
 		return c.HTTPClient
 	}
 	return http.DefaultClient
+}
+
+// send issues req, retrying idempotent GETs up to Retries times on 429 and
+// 503 — the statuses the service sheds load with. Anything else (other
+// statuses, transport errors, non-GET methods) returns on the first
+// attempt, so a sweep is never simulated twice by its own client.
+func (c *Client) send(req *http.Request) (*http.Response, error) {
+	resp, err := c.httpClient().Do(req)
+	if c.Retries <= 0 || req.Method != http.MethodGet {
+		return resp, err
+	}
+	for attempt := 0; attempt < c.Retries; attempt++ {
+		if err != nil ||
+			(resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable) {
+			return resp, err
+		}
+		delay := retryDelay(resp, attempt)
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		timer := time.NewTimer(delay)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+		resp, err = c.httpClient().Do(req)
+	}
+	return resp, err
+}
+
+// retryDelay picks the wait before retry number attempt: the server's
+// Retry-After when the response names one, otherwise exponential backoff
+// from 100ms, plus up to 50% random jitter so synchronized clients spread
+// out instead of re-colliding.
+func retryDelay(resp *http.Response, attempt int) time.Duration {
+	base := time.Duration(100*(1<<attempt)) * time.Millisecond
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			base = time.Duration(secs) * time.Second
+		}
+	}
+	return base + time.Duration(rand.Int63n(int64(base)/2+1))
 }
 
 // getJSON GETs path and decodes the JSON answer into v.
@@ -332,7 +388,7 @@ func (c *Client) postJSON(ctx context.Context, path string, body, v any) error {
 // do runs one request, mapping error statuses to *APIError and decoding a
 // success into v.
 func (c *Client) do(req *http.Request, v any) error {
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.send(req)
 	if err != nil {
 		return err
 	}

@@ -3,10 +3,14 @@ package client
 import (
 	"context"
 	"errors"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	speedupstack "repro"
 	"repro/internal/exp"
@@ -197,5 +201,114 @@ func TestClientMode(t *testing.T) {
 	var ae *APIError
 	if !errors.As(err, &ae) || ae.Code != "invalid_argument" {
 		t.Fatalf("bogus mode error = %v", err)
+	}
+}
+
+// flakyServer answers fail429 requests with the service's shed envelope
+// (Retry-After: 0 keeps the test fast), then succeeds.
+func flakyServer(t *testing.T, fail int, status int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= int64(fail) {
+			w.Header().Set("Retry-After", "0")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			io.WriteString(w, `{"error":{"code":"overloaded","message":"shed"}}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"benchmarks":["a"]}`)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+// TestClientRetries pins the retry contract: with Retries set, a GET rides
+// out 429s and 503s and succeeds on a later attempt; with the zero default
+// the first 429 is surfaced as *APIError.
+func TestClientRetries(t *testing.T) {
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		srv, hits := flakyServer(t, 2, status)
+		c := New(srv.URL)
+		c.Retries = 3
+		names, err := c.Benchmarks(context.Background())
+		if err != nil {
+			t.Fatalf("status %d with retries: %v", status, err)
+		}
+		if len(names) != 1 || hits.Load() != 3 {
+			t.Errorf("status %d: names %v after %d attempts, want 1 name after 3", status, names, hits.Load())
+		}
+	}
+
+	// Default: no retrying.
+	srv, hits := flakyServer(t, 1, http.StatusTooManyRequests)
+	c := New(srv.URL)
+	_, err := c.Benchmarks(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != 429 || ae.Code != "overloaded" {
+		t.Fatalf("zero-retries error = %v, want 429 overloaded APIError", err)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("%d attempts without Retries, want 1", hits.Load())
+	}
+}
+
+// TestClientRetriesExhausted pins that a server that never recovers
+// surfaces the final shed response, after exactly 1+Retries attempts.
+func TestClientRetriesExhausted(t *testing.T) {
+	srv, hits := flakyServer(t, 100, http.StatusTooManyRequests)
+	c := New(srv.URL)
+	c.Retries = 2
+	_, err := c.Benchmarks(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != 429 {
+		t.Fatalf("exhausted retries error = %v, want 429 APIError", err)
+	}
+	if hits.Load() != 3 {
+		t.Errorf("%d attempts with Retries=2, want 3", hits.Load())
+	}
+}
+
+// TestClientNoRetryOnPost pins that POSTs are never retried, even with
+// Retries set — re-sending could simulate a sweep twice.
+func TestClientNoRetryOnPost(t *testing.T) {
+	srv, hits := flakyServer(t, 100, http.StatusTooManyRequests)
+	c := New(srv.URL)
+	c.Retries = 3
+	_, err := c.Sweep(context.Background(), []SweepCell{{Bench: testBench, Threads: 2}})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != 429 {
+		t.Fatalf("POST error = %v, want 429 APIError", err)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("POST issued %d times with Retries=3, want 1", hits.Load())
+	}
+}
+
+// TestClientRetryHonorsContext pins that cancellation interrupts the
+// backoff wait instead of letting the retry fire.
+func TestClientRetryHonorsContext(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	t.Cleanup(srv.Close)
+	c := New(srv.URL)
+	c.Retries = 1
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Benchmarks(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context deadline", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("cancellation took %v — backoff not interruptible", d)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("%d attempts, want 1 (retry must not fire after cancel)", hits.Load())
 	}
 }

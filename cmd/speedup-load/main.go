@@ -1,0 +1,223 @@
+// Command speedup-load is an open-loop load generator for speedupd: it
+// offers requests at a fixed arrival rate — arrivals do not wait for
+// completions, so a saturated server shows up as rising latency and shed
+// load rather than a silently throttled offered rate — and reports
+// achieved throughput, latency quantiles, and the 429 shed count.
+//
+// Usage:
+//
+//	speedup-load [-targets URL,URL,...] [-rate RPS] [-duration 10s]
+//	             [-benches a,b] [-threads 1,2,4] [-hot 1.0]
+//	             [-warmup] [-seed 1] [-max-inflight 512] [-timeout 30s] [-json]
+//
+// The working set is the cross product of -benches and -threads, requested
+// as GET /v1/stack. With -warmup (the default) every working-set query is
+// issued once before measurement, so a -hot 1.0 run measures the pure
+// cached-query path — the number a fleet scales with node count. A -hot
+// fraction below 1 draws the remainder from unwarmed core-count variants
+// of the same cells, forcing simulations. Targets are used round-robin,
+// and the request schedule is deterministic for a given -seed, so two runs
+// against equivalent servers offer identical load.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type report struct {
+	Targets     int     `json:"targets"`
+	OfferedRPS  float64 `json:"offered_rps"`
+	DurationSec float64 `json:"duration_sec"`
+	Requests    int     `json:"requests"`
+	OK          int     `json:"ok"`
+	Throttled   int     `json:"throttled"`
+	Dropped     int     `json:"dropped"`
+	Failed      int     `json:"failed"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	LatencyMS   latency `json:"latency_ms"`
+}
+
+type latency struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("speedup-load: ")
+	targets := flag.String("targets", "http://127.0.0.1:8080", "comma-separated speedupd base URLs, used round-robin")
+	rate := flag.Float64("rate", 50, "open-loop arrival rate, requests/second")
+	duration := flag.Duration("duration", 10*time.Second, "measurement length")
+	benches := flag.String("benches", "blackscholes_parsec_small,swaptions_parsec_small", "comma-separated benchmark names")
+	threads := flag.String("threads", "1,2,4", "comma-separated thread counts")
+	hot := flag.Float64("hot", 1.0, "fraction of requests drawn from the pre-warmed working set")
+	warmup := flag.Bool("warmup", true, "issue each working-set query once, uncounted, before measuring")
+	seed := flag.Int64("seed", 1, "request-schedule seed")
+	maxInflight := flag.Int("max-inflight", 512, "client-side cap on concurrent requests; arrivals past it are dropped and counted")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments %v", flag.Args())
+	}
+	if *rate <= 0 || *duration <= 0 {
+		log.Fatal("-rate and -duration must be positive")
+	}
+	if *hot < 0 || *hot > 1 {
+		log.Fatal("-hot must be in [0,1]")
+	}
+
+	urls := strings.Split(*targets, ",")
+	benchList := strings.Split(*benches, ",")
+	var threadList []int
+	for _, t := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(t))
+		if err != nil || n < 1 {
+			log.Fatalf("bad -threads entry %q", t)
+		}
+		threadList = append(threadList, n)
+	}
+	working := make([]string, 0, len(benchList)*len(threadList))
+	for _, b := range benchList {
+		for _, n := range threadList {
+			working = append(working, fmt.Sprintf("/v1/stack?bench=%s&threads=%d", strings.TrimSpace(b), n))
+		}
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	if *warmup {
+		for _, u := range urls {
+			for _, q := range working {
+				if code, err := get(client, u+q); err != nil || code != http.StatusOK {
+					log.Fatalf("warmup %s%s: status %d err %v", u, q, code, err)
+				}
+			}
+		}
+	}
+
+	// Pre-generate the full deterministic schedule so the arrival loop does
+	// nothing but pace and dispatch.
+	rng := rand.New(rand.NewSource(*seed))
+	n := int(*rate * duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	paths := make([]string, n)
+	for i := range paths {
+		if rng.Float64() < *hot {
+			paths[i] = working[rng.Intn(len(working))]
+		} else {
+			// A cold query is an unwarmed core-count variant of a working-set
+			// cell: a distinct cache identity, so it costs a simulation on
+			// first touch.
+			paths[i] = working[rng.Intn(len(working))] + "&cores=" + strconv.Itoa(2+rng.Intn(63))
+		}
+	}
+
+	interval := time.Duration(float64(time.Second) / *rate)
+	type outcome struct {
+		latency time.Duration
+		status  int
+		failed  bool
+		dropped bool
+	}
+	outcomes := make([]outcome, n)
+	// Past the in-flight cap, an open-loop arrival is dropped (client-side
+	// shed) rather than queued: the generator keeps offering at the target
+	// rate without hoarding sockets, and a saturated server still shows its
+	// true capacity in achieved_rps.
+	sem := make(chan struct{}, *maxInflight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			outcomes[i] = outcome{dropped: true}
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			code, err := get(client, urls[i%len(urls)]+paths[i])
+			outcomes[i] = outcome{latency: time.Since(t0), status: code, failed: err != nil}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := report{
+		Targets:     len(urls),
+		OfferedRPS:  *rate,
+		DurationSec: elapsed.Seconds(),
+		Requests:    n,
+	}
+	var okLatencies []time.Duration
+	for _, o := range outcomes {
+		switch {
+		case o.dropped:
+			rep.Dropped++
+		case o.status == http.StatusOK:
+			rep.OK++
+			okLatencies = append(okLatencies, o.latency)
+		case o.status == http.StatusTooManyRequests:
+			rep.Throttled++
+		default:
+			rep.Failed++
+		}
+	}
+	rep.AchievedRPS = float64(rep.OK) / elapsed.Seconds()
+	if len(okLatencies) > 0 {
+		sort.Slice(okLatencies, func(i, j int) bool { return okLatencies[i] < okLatencies[j] })
+		q := func(p float64) float64 {
+			i := int(p * float64(len(okLatencies)-1))
+			return float64(okLatencies[i]) / float64(time.Millisecond)
+		}
+		rep.LatencyMS = latency{P50: q(0.50), P90: q(0.90), P99: q(0.99),
+			Max: float64(okLatencies[len(okLatencies)-1]) / float64(time.Millisecond)}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+		return
+	}
+	fmt.Printf("targets %d  offered %.1f req/s  duration %.1fs\n", rep.Targets, rep.OfferedRPS, rep.DurationSec)
+	fmt.Printf("requests %d  ok %d  throttled(429) %d  dropped %d  failed %d\n",
+		rep.Requests, rep.OK, rep.Throttled, rep.Dropped, rep.Failed)
+	fmt.Printf("achieved %.1f ok/s\n", rep.AchievedRPS)
+	fmt.Printf("latency ms  p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+		rep.LatencyMS.P50, rep.LatencyMS.P90, rep.LatencyMS.P99, rep.LatencyMS.Max)
+}
+
+// get performs one GET, drains the body (connection reuse), and returns
+// the status code.
+func get(client *http.Client, url string) (int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}

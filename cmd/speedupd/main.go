@@ -5,6 +5,8 @@
 //
 //	speedupd [-addr :8080] [-workers N] [-cache CELLS] [-sim-timeout 2m]
 //	         [-max-sweep-cells 1024] [-drain 10s] [-pprof]
+//	         [-max-inflight N] [-rate-limit RPS] [-rate-burst N]
+//	         [-self URL -peers URL,URL,...] [-fleet-cache N]
 //
 // Endpoints (see internal/service):
 //
@@ -24,6 +26,19 @@
 // accepts exactly its documented query parameters and answers failures
 // with one structured envelope ({"error":{"code","message","suggestion"}});
 // the Go package repro/client wraps the whole surface.
+//
+// Overload protection: -max-inflight bounds concurrently admitted
+// simulating requests (excess load is shed with 429 "overloaded" and
+// Retry-After) and -rate-limit/-rate-burst add a per-client token bucket
+// (429 "rate_limited").
+//
+// Fleet mode: -self and -peers (every node runs the same -peers list, its
+// own address in it as -self) shard the cache across cooperating nodes —
+// a consistent-hash ring on the workload fingerprint assigns each
+// workload a home node, non-home nodes fill from the home over the /v1
+// surface with at most one hop, and the fleet-wide cost of a unique cell
+// is one simulation. Responses are byte-identical to a single node's
+// (see internal/fleet); /metrics grows speedupd_fleet_* counters.
 package main
 
 import (
@@ -37,9 +52,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/service"
 )
 
@@ -51,6 +68,12 @@ func main() {
 	maxSweepCells := flag.Int("max-sweep-cells", 1024, "max cells per /v1/sweep batch")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profile a slow sweep live)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently admitted simulating requests (0 = unbounded; excess sheds 429)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate on simulating endpoints, in req/s (0 = off)")
+	rateBurst := flag.Int("rate-burst", 0, "token-bucket burst when -rate-limit is set (default ceil(rate))")
+	self := flag.String("self", "", "fleet: this node's address as it appears in -peers")
+	peers := flag.String("peers", "", "fleet: comma-separated member addresses, -self included, identical on every node")
+	fleetCache := flag.Int("fleet-cache", 0, "fleet: peer-response cache entries (0 = default 4096, -1 = off)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected arguments %v\n", flag.Args())
@@ -62,15 +85,34 @@ func main() {
 		CacheCells:    *cache,
 		SimTimeout:    *simTimeout,
 		MaxSweepCells: *maxSweepCells,
+		MaxInFlight:   *maxInflight,
+		RateLimit:     *rateLimit,
+		RateBurst:     *rateBurst,
 	})
 
 	handler := srv.Handler()
+	if (*self == "") != (*peers == "") {
+		log.Fatal("speedupd: -self and -peers must be set together")
+	}
+	if *peers != "" {
+		members := strings.Split(*peers, ",")
+		fh, err := fleet.Wrap(handler, fleet.Options{
+			Self:         *self,
+			Peers:        members,
+			CacheEntries: *fleetCache,
+		})
+		if err != nil {
+			log.Fatalf("speedupd: %v", err)
+		}
+		handler = fh
+		log.Printf("speedupd: fleet member %s of %d nodes", *self, len(members))
+	}
 	if *pprofOn {
 		// Admin mux: the service routes plus the standard pprof endpoints,
 		// so a slow sweep can be profiled in production with
 		// `go tool pprof http://HOST/debug/pprof/profile`.
 		mux := http.NewServeMux()
-		mux.Handle("/", srv.Handler())
+		mux.Handle("/", handler)
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

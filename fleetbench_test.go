@@ -1,0 +1,130 @@
+// Fleet benchmarks: cached-query throughput through the full HTTP surface
+// at one and three in-process nodes. These are the committed-baseline twins
+// of scripts/fleetbench.sh (which measures separate OS processes pinned to
+// one CPU each); here all nodes share the test process, so the point is
+// the relative per-request routing overhead, not multi-core scaling.
+package speedupstack
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/fleet"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+// benchFleetQueries is the warmed working set: cheap cells only, so the
+// warmup cost stays a small fraction of -benchtime=1x runs.
+func benchFleetQueries() []string {
+	var qs []string
+	for _, bench := range []string{"blackscholes_parsec_small", "swaptions_parsec_small"} {
+		for _, n := range []int{1, 2, 4} {
+			qs = append(qs, fmt.Sprintf("/v1/stack?bench=%s&threads=%d", bench, n))
+		}
+	}
+	return qs
+}
+
+// swappableHandler lets fleet nodes be installed after their listener
+// addresses exist.
+type swappableHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *swappableHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	h.ServeHTTP(w, r)
+}
+
+// bootFleet starts n in-process fleet nodes and returns their base URLs.
+func bootFleet(b *testing.B, n int) []string {
+	b.Helper()
+	swaps := make([]*swappableHandler, n)
+	urls := make([]string, n)
+	for i := range swaps {
+		swaps[i] = &swappableHandler{}
+		srv := httptest.NewServer(swaps[i])
+		b.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	for i := range swaps {
+		svc := service.New(service.Options{
+			Engine: exp.NewEngine(sim.Default(), exp.WithWorkers(2)),
+		})
+		h := http.Handler(svc.Handler())
+		if n > 1 {
+			fh, err := fleet.Wrap(h, fleet.Options{Self: urls[i], Peers: urls})
+			if err != nil {
+				b.Fatal(err)
+			}
+			h = fh
+		}
+		swaps[i].mu.Lock()
+		swaps[i].h = h
+		swaps[i].mu.Unlock()
+	}
+	return urls
+}
+
+func benchFleetCachedQuery(b *testing.B, nodes int) {
+	urls := bootFleet(b, nodes)
+	queries := benchFleetQueries()
+	client := &http.Client{}
+	// Warm every (node, query) pair: the measured loop is the pure cached
+	// path — engine memo on home nodes, peer-response cache elsewhere.
+	for _, u := range urls {
+		for _, q := range queries {
+			if err := fleetGet(client, u+q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1))
+			u := urls[i%len(urls)] + queries[i%len(queries)]
+			if err := fleetGet(client, u); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func fleetGet(client *http.Client, url string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return nil
+}
+
+// BenchmarkFleetCachedQuery1Node is the single-node cached-query baseline
+// through real HTTP.
+func BenchmarkFleetCachedQuery1Node(b *testing.B) {
+	benchFleetCachedQuery(b, 1)
+}
+
+// BenchmarkFleetCachedQuery3Nodes is the same warmed working set spread
+// over a three-node fleet; the delta against the 1-node baseline is the
+// routing and peer-cache overhead.
+func BenchmarkFleetCachedQuery3Nodes(b *testing.B) {
+	benchFleetCachedQuery(b, 3)
+}

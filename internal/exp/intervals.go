@@ -69,10 +69,11 @@ func (e *Engine) MeasureIntervals(ctx context.Context, req Request, count int) (
 		cellKey: cellKey{cfg: cfg, fp: b.Spec.Fingerprint(), threads: cell.Threads, cores: cell.Cores},
 		count:   count,
 	}
-	out, err := claimOrWait(ctx, &e.mu, e.intervals, ik,
-		func() { e.stats.IntervalHits++ },
+	sk := ik.storeKey()
+	out, err := storeDo(ctx, e.intervals, sk,
+		func() { e.addHit(&e.stats.IntervalHits) },
 		func() (IntervalOutcome, error) { return e.runIntervals(ctx, ik, b) })
-	e.touchInterval(ik)
+	e.intervals.Touch(sk)
 	if err != nil {
 		return IntervalOutcome{}, err
 	}
@@ -153,12 +154,4 @@ func (e *Engine) runIntervals(ctx context.Context, ik intervalKey, b workload.Be
 	out := IntervalOutcome{Outcome: agg, Series: series}
 	out.Result = res
 	return out, nil
-}
-
-// touchInterval is touchCell for the interval memo. Interval entries are
-// heavier than cells (they carry the full per-interval series), so they
-// share the same bound but live on their own list — evicting an interval
-// series never costs an aggregate outcome its slot, and vice versa.
-func (e *Engine) touchInterval(ik intervalKey) {
-	touchLRU(&e.mu, e.intervals, e.cellLimit, e.ivLRU, e.ivPos, ik, &e.stats.IntervalEvictions)
 }

@@ -1,0 +1,323 @@
+package exp
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The engine's memoization is pluggable: every memo lookup — sequential
+// references, cell outcomes, interval series — flows through a CacheStore,
+// a storage-agnostic singleflight protocol keyed by the same fingerprint
+// identities the engine has always used. The default implementation is the
+// in-process LRU MemStore below; a shared store (another process, a network
+// service) slots in through WithStores without the engine knowing.
+
+// KeyKind discriminates the artifact classes that may share one CacheStore
+// backend: sequential references, cell outcomes and interval series never
+// collide even under a single keyspace.
+type KeyKind uint8
+
+// The memoized artifact classes.
+const (
+	// KindSeq is a sequential-reference time (a uint64, Ts in cycles).
+	KindSeq KeyKind = iota + 1
+	// KindCell is a full cell Outcome.
+	KindCell
+	// KindInterval is an IntervalOutcome (aggregate plus time series).
+	KindInterval
+)
+
+// Key is the comparable identity of one memoized simulation artifact: the
+// full machine configuration, the workload's canonical name-independent
+// fingerprint, and the run shape. It is the exported form of the engine's
+// internal cellKey/seqKey/intervalKey triple, so an external store is keyed
+// exactly like the in-process memo — two requests are "the same simulation"
+// precisely when their Keys are equal.
+type Key struct {
+	Kind   KeyKind
+	Config sim.Config
+	// Fingerprint is the workload identity (workload.Spec.Fingerprint):
+	// registry names, aliases and inline specs describing the same workload
+	// share it, which is what makes distributed dedup correct.
+	Fingerprint workload.Fingerprint
+	Threads     int
+	Cores       int
+	// Intervals is the slice count of a KindInterval key (0 otherwise).
+	Intervals int
+}
+
+// key conversions from the engine's internal identities.
+
+func (k cellKey) storeKey() Key {
+	return Key{Kind: KindCell, Config: k.cfg, Fingerprint: k.fp, Threads: k.threads, Cores: k.cores}
+}
+
+func (k seqKey) storeKey() Key {
+	return Key{Kind: KindSeq, Config: k.cfg, Fingerprint: k.fp, Threads: 1, Cores: 1}
+}
+
+func (k intervalKey) storeKey() Key {
+	sk := k.cellKey.storeKey()
+	sk.Kind = KindInterval
+	sk.Intervals = k.count
+	return sk
+}
+
+// Acquisition is the answer of CacheStore.Acquire: exactly one of Hit,
+// Claimed, or a non-nil Done holds.
+type Acquisition struct {
+	// Hit: the slot holds a completed result (Value/Err). Real simulation
+	// errors are memoized like values — every simulation is deterministic,
+	// so retrying cannot help.
+	Hit   bool
+	Value any
+	Err   error
+	// Claimed: the caller now owns the slot and must call Complete exactly
+	// once, however its execution ends.
+	Claimed bool
+	// Done, when non-nil, belongs to another claimant's in-flight
+	// execution; wait for it to close, then Acquire again. (A closed Done
+	// does not imply a value: the claim may have been abandoned, in which
+	// case the re-Acquire wins the new claim.)
+	Done <-chan struct{}
+}
+
+// Occupancy is a store's retention snapshot, for pressure metrics.
+type Occupancy struct {
+	// Entries counts stored slots, in-flight claims included.
+	Entries int
+	// Limit is the retention bound (0 = unbounded).
+	Limit int
+	// Evictions counts completed entries dropped by the retention policy.
+	Evictions int
+}
+
+// CacheStore is the storage behind one of the engine's memos: get,
+// singleflight-claim and put, keyed by the fingerprint identities above.
+// Implementations must be safe for concurrent use. The protocol:
+//
+//   - Acquire(k) answers a completed result, ownership of the slot, or a
+//     wait channel for whoever owns it. Exactly one concurrent caller per
+//     key may be granted Claimed.
+//   - A claimant executes its simulation and calls Complete. retain=false
+//     abandons the claim (the caller's context was canceled before the
+//     simulation ran): the slot is removed so a later Acquire re-claims
+//     and re-executes. retain=true stores the result — value or
+//     deterministic error — and wakes waiters.
+//   - Touch(k) records a use for the store's retention policy (the
+//     MemStore's LRU). A store must never drop an in-flight claim:
+//     evicting it would detach waiters from the execution filling it.
+type CacheStore interface {
+	Acquire(k Key) Acquisition
+	Complete(k Key, v any, err error, retain bool)
+	Touch(k Key)
+	Occupancy() Occupancy
+}
+
+// Stores bundles replacement cache stores for the engine's three memos.
+// A nil field keeps the default in-process MemStore; the three may also be
+// views of one shared backend (Key.Kind keeps the keyspaces apart).
+type Stores struct {
+	// Seq holds sequential references (tiny: one uint64 per workload), by
+	// default unbounded.
+	Seq CacheStore
+	// Cells holds cell Outcomes, by default bounded by WithCellMemoLimit.
+	Cells CacheStore
+	// Intervals holds interval series (heavier than cells), on its own
+	// retention under the same bound.
+	Intervals CacheStore
+}
+
+// WithStores plugs replacement cache stores into the engine — the hook for
+// pooling results across processes. Nil fields keep the in-process default.
+func WithStores(st Stores) Option {
+	return func(e *Engine) {
+		if st.Seq != nil {
+			e.seq = st.Seq
+		}
+		if st.Cells != nil {
+			e.cells = st.Cells
+		}
+		if st.Intervals != nil {
+			e.intervals = st.Intervals
+		}
+	}
+}
+
+// storeDo is the engine side of the CacheStore protocol, shared by all
+// three memos: resolve key k to a completed value, wait for whoever is
+// computing it, or claim the slot and execute run. onHit fires at most once
+// per call, when an existing entry (completed or in-flight) is found — the
+// memo-hit statistic. A claim abandoned on context cancellation (run
+// returned ctx's own error) is released without retention, so waiters and
+// later callers re-execute; real errors are memoized like values.
+func storeDo[V any](ctx context.Context, s CacheStore, k Key, onHit func(), run func() (V, error)) (V, error) {
+	var zero V
+	hitCounted := false
+	for {
+		acq := s.Acquire(k)
+		switch {
+		case acq.Hit:
+			if !hitCounted {
+				onHit()
+			}
+			if acq.Err != nil {
+				return zero, acq.Err
+			}
+			v, ok := acq.Value.(V)
+			if !ok {
+				// A foreign store handed back the wrong type; surface it as
+				// a loud error rather than a zero-value result.
+				return zero, &StoreTypeError{Key: k, Value: acq.Value}
+			}
+			return v, nil
+		case acq.Claimed:
+			v, err := run()
+			if err != nil && err == ctx.Err() {
+				s.Complete(k, nil, err, false)
+				return zero, err
+			}
+			s.Complete(k, v, err, true)
+			return v, err
+		default:
+			if !hitCounted {
+				onHit()
+				hitCounted = true
+			}
+			select {
+			case <-acq.Done:
+				// Re-acquire: either the result landed (Hit) or the claim
+				// was abandoned and this caller takes it over.
+			case <-ctx.Done():
+				return zero, ctx.Err()
+			}
+		}
+	}
+}
+
+// StoreTypeError reports a CacheStore answering a value of the wrong type
+// for a key — a misbehaving external store, never the in-process MemStore.
+type StoreTypeError struct {
+	Key   Key
+	Value any
+}
+
+// Error describes the mismatch.
+func (e *StoreTypeError) Error() string {
+	return "exp: cache store returned a mistyped value"
+}
+
+// MemStore is the default CacheStore: an in-process map with singleflight
+// slots and optional LRU retention over completed entries. It preserves the
+// engine's historical memo semantics exactly — in-flight claims are never
+// evicted, abandoned claims retry, completed errors are retained like
+// values.
+type MemStore struct {
+	mu        sync.Mutex
+	limit     int
+	entries   map[Key]*memEntry
+	lru       *list.List // completed keys, most-recently-used first
+	pos       map[Key]*list.Element
+	evictions int
+}
+
+// memEntry is one singleflight slot. complete flips under mu strictly
+// before done closes, so an Acquire seeing complete==false safely waits.
+type memEntry struct {
+	done     chan struct{}
+	val      any
+	err      error
+	complete bool
+}
+
+// NewMemStore returns an in-process store retaining at most limit completed
+// entries, least-recently-used first (limit <= 0: unbounded).
+func NewMemStore(limit int) *MemStore {
+	if limit < 0 {
+		limit = 0
+	}
+	return &MemStore{
+		limit:   limit,
+		entries: make(map[Key]*memEntry),
+		lru:     list.New(),
+		pos:     make(map[Key]*list.Element),
+	}
+}
+
+// Acquire implements CacheStore.
+func (s *MemStore) Acquire(k Key) Acquisition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[k]; ok {
+		if e.complete {
+			return Acquisition{Hit: true, Value: e.val, Err: e.err}
+		}
+		return Acquisition{Done: e.done}
+	}
+	s.entries[k] = &memEntry{done: make(chan struct{})}
+	return Acquisition{Claimed: true}
+}
+
+// Complete implements CacheStore.
+func (s *MemStore) Complete(k Key, v any, err error, retain bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[k]
+	if !ok || e.complete {
+		return // defensive: double Complete or a claim lost to a bug
+	}
+	if retain {
+		e.val, e.err = v, err
+		e.complete = true
+	} else {
+		delete(s.entries, k)
+	}
+	close(e.done)
+}
+
+// Touch implements CacheStore: record a use of k and trim the store to its
+// bound. Only completed entries are tracked and evicted — an in-flight
+// claim keeps its slot until it finishes, so eviction can never detach
+// waiters or double-simulate; when the oldest tracked entry is mid-
+// recomputation (its prior claim was abandoned and a new one is running)
+// the store stays one entry over rather than orphan the claim.
+func (s *MemStore) Touch(k Key) {
+	if s.limit <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[k]
+	if !ok || !e.complete {
+		return // abandoned claim or mid-flight recomputation: nothing retained
+	}
+	if el, ok := s.pos[k]; ok {
+		s.lru.MoveToFront(el)
+	} else {
+		s.pos[k] = s.lru.PushFront(k)
+	}
+	for s.lru.Len() > s.limit {
+		el := s.lru.Back()
+		bk := el.Value.(Key)
+		if be, ok := s.entries[bk]; ok {
+			if !be.complete {
+				return // see above: never evict an in-flight claim
+			}
+			delete(s.entries, bk)
+			s.evictions++
+		}
+		s.lru.Remove(el)
+		delete(s.pos, bk)
+	}
+}
+
+// Occupancy implements CacheStore.
+func (s *MemStore) Occupancy() Occupancy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Occupancy{Entries: len(s.entries), Limit: s.limit, Evictions: s.evictions}
+}

@@ -1,0 +1,281 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// storeTestKey builds a distinct cell Key for tests.
+func storeTestKey(i int) Key {
+	k := Key{Kind: KindCell, Config: sim.Default(), Threads: 2, Cores: 2}
+	k.Fingerprint[0] = byte(i)
+	k.Fingerprint[1] = byte(i >> 8)
+	return k
+}
+
+// TestMemStoreSingleflight races many acquirers of one key: exactly one
+// may claim, everyone else waits for it and reads the completed value.
+func TestMemStoreSingleflight(t *testing.T) {
+	s := NewMemStore(0)
+	k := storeTestKey(1)
+	const goroutines = 32
+	var claims, runs atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := storeDo(context.Background(), s, k, func() {},
+				func() (int, error) {
+					claims.Add(1)
+					runs.Add(1)
+					return 42, nil
+				})
+			if err != nil || v != 42 {
+				t.Errorf("storeDo = %v, %v, want 42, nil", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if runs.Load() != 1 {
+		t.Fatalf("run executed %d times, want exactly 1", runs.Load())
+	}
+	if got := s.Occupancy().Entries; got != 1 {
+		t.Fatalf("occupancy %d entries, want 1", got)
+	}
+}
+
+// TestMemStoreClaimantSurvivesEviction pins the retention contract the
+// satellite asks for: a claimant still simulating while eviction pressure
+// churns the rest of the store must neither deadlock its waiters nor be
+// double-simulated. The store is bounded to one entry, a slow claim on key
+// A is held open while completed keys B.. push the LRU past its limit, and
+// concurrent waiters on A must all resolve from A's single execution.
+func TestMemStoreClaimantSurvivesEviction(t *testing.T) {
+	s := NewMemStore(1)
+	keyA := storeTestKey(1)
+
+	acq := s.Acquire(keyA)
+	if !acq.Claimed {
+		t.Fatalf("first Acquire not Claimed: %+v", acq)
+	}
+
+	// Waiters pile onto the in-flight claim.
+	const waiters = 16
+	var runsA atomic.Int64
+	results := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for g := 0; g < waiters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := storeDo(context.Background(), s, keyA, func() {},
+				func() (int, error) {
+					runsA.Add(1)
+					return 7, nil
+				})
+			if err != nil {
+				t.Errorf("waiter: %v", err)
+				return
+			}
+			results <- v
+		}()
+	}
+
+	// Meanwhile, other keys complete and are touched, evicting each other
+	// under the one-entry bound. None of this may drop A's in-flight claim.
+	for i := 2; i < 34; i++ {
+		k := storeTestKey(i)
+		if a := s.Acquire(k); a.Claimed {
+			s.Complete(k, i, nil, true)
+		}
+		s.Touch(k)
+	}
+
+	// The claimant finishes; its waiters must all see the value.
+	s.Complete(keyA, 7, nil, true)
+	s.Touch(keyA)
+	wg.Wait()
+	close(results)
+	n := 0
+	for v := range results {
+		if v != 7 {
+			t.Fatalf("waiter read %d, want 7", v)
+		}
+		n++
+	}
+	if n != waiters {
+		t.Fatalf("%d waiters resolved, want %d", n, waiters)
+	}
+	if runsA.Load() != 0 {
+		t.Fatalf("key A re-simulated %d times while claimed", runsA.Load())
+	}
+	if occ := s.Occupancy(); occ.Evictions == 0 {
+		t.Fatalf("no evictions recorded under churn: %+v", occ)
+	}
+}
+
+// TestMemStoreConcurrentClaimsUnderEviction hammers a one-entry store with
+// concurrent storeDo calls over a small hot key set — constant claim, wait,
+// touch, evict traffic — under the race detector. Every call must resolve
+// to the key's deterministic value; re-runs after eviction are expected,
+// lost updates and deadlocks are not.
+func TestMemStoreConcurrentClaimsUnderEviction(t *testing.T) {
+	s := NewMemStore(1)
+	const keys = 4
+	const goroutines = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % keys
+				k := storeTestKey(i)
+				v, err := storeDo(context.Background(), s, k, func() {},
+					func() (int, error) { return i * 11, nil })
+				if err != nil || v != i*11 {
+					t.Errorf("key %d resolved to %v, %v", i, v, err)
+					return
+				}
+				s.Touch(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	occ := s.Occupancy()
+	if occ.Entries > 2 { // limit 1, plus at most one in-flight claim
+		t.Fatalf("store grew past its bound: %+v", occ)
+	}
+}
+
+// TestMemStoreAbandonedClaimRetries covers the cancellation path: a claim
+// completed with retain=false leaves no entry, waiters re-acquire, and the
+// next caller takes over the claim and executes.
+func TestMemStoreAbandonedClaimRetries(t *testing.T) {
+	s := NewMemStore(0)
+	k := storeTestKey(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := storeDo(ctx, s, k, func() {},
+		func() (int, error) { return 0, ctx.Err() })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled claim: err = %v", err)
+	}
+	if got := s.Occupancy().Entries; got != 0 {
+		t.Fatalf("abandoned claim retained %d entries", got)
+	}
+	runs := 0
+	v, err := storeDo(context.Background(), s, k, func() {},
+		func() (int, error) { runs++; return 9, nil })
+	if err != nil || v != 9 || runs != 1 {
+		t.Fatalf("retry after abandonment: v=%v err=%v runs=%d", v, err, runs)
+	}
+}
+
+// TestMemStoreMemoizesErrors pins that deterministic failures are retained
+// like values: the second caller hits the stored error without re-running.
+func TestMemStoreMemoizesErrors(t *testing.T) {
+	s := NewMemStore(0)
+	k := storeTestKey(1)
+	boom := errors.New("deterministic failure")
+	runs := 0
+	for i := 0; i < 2; i++ {
+		_, err := storeDo(context.Background(), s, k, func() {},
+			func() (int, error) { runs++; return 0, boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("call %d: err = %v, want %v", i, err, boom)
+		}
+	}
+	if runs != 1 {
+		t.Fatalf("erroring key ran %d times, want 1 (errors are memoized)", runs)
+	}
+}
+
+// countingStore wraps a CacheStore to observe engine traffic — the shape a
+// shared fleet store would take.
+type countingStore struct {
+	CacheStore
+	acquires atomic.Int64
+}
+
+func (s *countingStore) Acquire(k Key) Acquisition {
+	s.acquires.Add(1)
+	return s.CacheStore.Acquire(k)
+}
+
+// TestWithStoresPluggable proves the engine runs every memo lookup through
+// a plugged-in store: a counting wrapper sees the cell traffic, and results
+// are identical to the default store's.
+func TestWithStoresPluggable(t *testing.T) {
+	cs := &countingStore{CacheStore: NewMemStore(0)}
+	e := NewEngine(sim.Default(), WithWorkers(2), WithStores(Stores{Cells: cs}))
+	ref := NewEngine(sim.Default(), WithWorkers(2))
+	ctx := context.Background()
+
+	cells := []Cell{{Bench: "blackscholes_parsec_small", Threads: 2}}
+	got, err := e.Sweep(ctx, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Sweep(ctx, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Tp != want[0].Tp || got[0].Ts != want[0].Ts {
+		t.Fatalf("plugged store changed results: %+v vs %+v", got[0], want[0])
+	}
+	if cs.acquires.Load() == 0 {
+		t.Fatal("plugged cell store saw no traffic")
+	}
+	// Repeat: pure store hit, no new simulation.
+	st0 := e.Stats()
+	if _, err := e.Sweep(ctx, cells); err != nil {
+		t.Fatal(err)
+	}
+	st1 := e.Stats()
+	if st1.CellRuns != st0.CellRuns || st1.CellHits != st0.CellHits+1 {
+		t.Fatalf("repeat through plugged store: runs %d->%d hits %d->%d",
+			st0.CellRuns, st1.CellRuns, st0.CellHits, st1.CellHits)
+	}
+}
+
+// TestStatsOccupancy pins the cache-pressure surface: entries and the
+// configured limit are visible next to the existing churn counters.
+func TestStatsOccupancy(t *testing.T) {
+	e := NewEngine(sim.Default(), WithWorkers(2), WithCellMemoLimit(7))
+	if _, err := e.Sweep(context.Background(), []Cell{{Bench: "blackscholes_parsec_small", Threads: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.CellMemoEntries != 1 || st.CellMemoLimit != 7 {
+		t.Fatalf("occupancy entries=%d limit=%d, want 1 and 7", st.CellMemoEntries, st.CellMemoLimit)
+	}
+}
+
+// TestStoreTypeError pins the defense against a misbehaving external store
+// answering the wrong type.
+func TestStoreTypeError(t *testing.T) {
+	s := NewMemStore(0)
+	k := storeTestKey(1)
+	if a := s.Acquire(k); !a.Claimed {
+		t.Fatal("expected claim")
+	}
+	s.Complete(k, "not an int", nil, true)
+	_, err := storeDo(context.Background(), s, k, func() {},
+		func() (int, error) { return 0, nil })
+	var te *StoreTypeError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *StoreTypeError", err)
+	}
+	if te.Error() == "" || fmt.Sprint(te.Key) == "" {
+		t.Fatal("empty error rendering")
+	}
+}

@@ -1,7 +1,6 @@
 package exp
 
 import (
-	"container/list"
 	"context"
 	"fmt"
 	"runtime"
@@ -106,61 +105,6 @@ func resolveCell(c Cell) (workload.Benchmark, error) {
 	return b, nil
 }
 
-// entry is a singleflight slot for one unique simulation. The claimant
-// closes done after filling val/err; canceled marks a claim abandoned
-// before the simulation ran (the entry is removed so a later sweep can
-// retry).
-type entry[V any] struct {
-	done     chan struct{}
-	val      V
-	err      error
-	canceled bool
-}
-
-// claimOrWait is the memo protocol shared by cells and sequential
-// references: claim the slot for key k and execute run, or wait for
-// whoever holds it. onHit is invoked under mu when an existing entry is
-// found. A claim abandoned on context cancellation (run returned ctx's own
-// error) is deleted before done is closed, so waiters retry and a later
-// sweep re-executes it; real errors are memoized like values — every
-// simulation is deterministic, so retrying one cannot help.
-func claimOrWait[K comparable, V any](ctx context.Context, mu *sync.Mutex,
-	m map[K]*entry[V], k K, onHit func(), run func() (V, error)) (V, error) {
-	var zero V
-	for {
-		mu.Lock()
-		if ent, ok := m[k]; ok {
-			onHit()
-			mu.Unlock()
-			select {
-			case <-ent.done:
-				if ent.canceled {
-					continue
-				}
-				return ent.val, ent.err
-			case <-ctx.Done():
-				return zero, ctx.Err()
-			}
-		}
-		ent := &entry[V]{done: make(chan struct{})}
-		m[k] = ent
-		mu.Unlock()
-
-		v, err := run()
-		if err != nil && err == ctx.Err() {
-			mu.Lock()
-			delete(m, k)
-			mu.Unlock()
-			ent.canceled = true
-			close(ent.done)
-			return zero, err
-		}
-		ent.val, ent.err = v, err
-		close(ent.done)
-		return v, err
-	}
-}
-
 // Stats counts the engine's simulation traffic: actual simulator runs
 // versus requests served from the memo.
 type Stats struct {
@@ -177,10 +121,15 @@ type Stats struct {
 	// in-flight) entry.
 	SeqHits  int
 	CellHits int
-	// CellEvictions counts completed outcomes dropped by the LRU memo
-	// bound (WithCellMemoLimit); an evicted cell re-simulates on its next
-	// request.
+	// CellEvictions counts completed outcomes dropped by the cell store's
+	// retention bound (WithCellMemoLimit); an evicted cell re-simulates on
+	// its next request.
 	CellEvictions int
+	// CellMemoEntries and CellMemoLimit are the cell store's occupancy:
+	// currently retained entries (in-flight claims included) against the
+	// configured bound (0 = unbounded) — cache pressure, not just churn.
+	CellMemoEntries int
+	CellMemoLimit   int
 	// IntervalRuns and IntervalHits are the same run/hit pair for
 	// time-resolved measurements (MeasureIntervals); IntervalEvictions
 	// counts interval series dropped by the LRU bound.
@@ -220,22 +169,18 @@ type Engine struct {
 	// this is engine tuning, not part of any memo key.
 	intraShards int
 
-	mu        sync.Mutex
-	seq       map[seqKey]*entry[uint64]
-	cells     map[cellKey]*entry[Outcome]
-	intervals map[intervalKey]*entry[IntervalOutcome]
-	stats     Stats
-	// LRU bookkeeping for the cells memo, active when cellLimit > 0: lru
-	// holds cellKeys most-recently-used first, lruPos indexes it. Only
-	// completed outcomes are tracked and evicted; sequential references are
-	// never evicted (their footprint is one uint64 per benchmark).
+	mu    sync.Mutex
+	stats Stats
+
+	// The three memos, each a pluggable CacheStore (see store.go). The
+	// defaults are in-process MemStores: seq unbounded (one uint64 per
+	// workload), cells and intervals each LRU-bounded by cellLimit.
+	// cellLimit only shapes the defaults; replacement stores own their own
+	// retention policy.
+	seq       CacheStore
+	cells     CacheStore
+	intervals CacheStore
 	cellLimit int
-	lru       *list.List
-	lruPos    map[cellKey]*list.Element
-	// The interval memo keeps its own LRU under the same bound (see
-	// touchInterval).
-	ivLRU *list.List
-	ivPos map[intervalKey]*list.Element
 
 	progressMu          sync.Mutex
 	doneCells, totCells int
@@ -280,14 +225,16 @@ func WithIntraRunShards(n int) Option {
 	}
 }
 
-// WithCellMemoLimit bounds the outcome memo to at most n completed cells
-// (successful outcomes and memoized errors alike), evicted
+// WithCellMemoLimit bounds the default outcome memo to at most n completed
+// cells (successful outcomes and memoized errors alike), evicted
 // least-recently-used. Long-running engines (the speedupd service) use
 // this to keep memory bounded; n <= 0 means unbounded, the right choice
 // for one-shot regeneration where every cell is known up front. Eviction
 // only drops completed entries — an in-flight simulation keeps its
 // singleflight slot until it finishes — and an evicted cell simply
-// re-simulates on its next request, so results are unaffected.
+// re-simulates on its next request, so results are unaffected. The limit
+// shapes the default MemStores; a store plugged in via WithStores owns its
+// own retention policy.
 func WithCellMemoLimit(n int) Option {
 	return func(e *Engine) { e.cellLimit = n }
 }
@@ -295,18 +242,23 @@ func WithCellMemoLimit(n int) Option {
 // NewEngine returns an Engine executing against the given base machine.
 func NewEngine(cfg sim.Config, opts ...Option) *Engine {
 	e := &Engine{
-		base:      cfg,
-		sem:       make(chan struct{}, runtime.GOMAXPROCS(0)),
-		seq:       make(map[seqKey]*entry[uint64]),
-		cells:     make(map[cellKey]*entry[Outcome]),
-		intervals: make(map[intervalKey]*entry[IntervalOutcome]),
-		lru:       list.New(),
-		lruPos:    make(map[cellKey]*list.Element),
-		ivLRU:     list.New(),
-		ivPos:     make(map[intervalKey]*list.Element),
+		base: cfg,
+		sem:  make(chan struct{}, runtime.GOMAXPROCS(0)),
 	}
 	for _, o := range opts {
 		o(e)
+	}
+	// Defaults for whichever memos no option replaced. WithCellMemoLimit
+	// must be observable regardless of option order, so the bounded stores
+	// are built after all options ran.
+	if e.seq == nil {
+		e.seq = NewMemStore(0)
+	}
+	if e.cells == nil {
+		e.cells = NewMemStore(e.cellLimit)
+	}
+	if e.intervals == nil {
+		e.intervals = NewMemStore(e.cellLimit)
 	}
 	return e
 }
@@ -314,11 +266,19 @@ func NewEngine(cfg sim.Config, opts ...Option) *Engine {
 // Config returns the engine's base machine configuration.
 func (e *Engine) Config() sim.Config { return e.base }
 
-// Stats returns a snapshot of the engine's simulation counters.
+// Stats returns a snapshot of the engine's simulation counters, merged
+// with the memo stores' retention counters (evictions and occupancy live
+// in the stores since the CacheStore extraction).
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	st := e.stats
+	e.mu.Unlock()
+	cell := e.cells.Occupancy()
+	st.CellEvictions = cell.Evictions
+	st.CellMemoEntries = cell.Entries
+	st.CellMemoLimit = cell.Limit
+	st.IntervalEvictions = e.intervals.Occupancy().Evictions
+	return st
 }
 
 // Sweep executes the cells under the engine's base configuration and
@@ -450,70 +410,23 @@ func (e *Engine) acquire(ctx context.Context) (release func(), err error) {
 	}
 }
 
-// cell resolves one unique cell through the memo: claim and simulate, or
-// wait for whoever holds it. Abandoned claims (context canceled before the
-// simulation ran) are retried by the next caller.
+// cell resolves one unique cell through the cell store: claim and
+// simulate, or wait for whoever holds it. Abandoned claims (context
+// canceled before the simulation ran) are retried by the next caller.
 func (e *Engine) cell(ctx context.Context, k cellKey, b workload.Benchmark) (Outcome, error) {
-	out, err := claimOrWait(ctx, &e.mu, e.cells, k,
-		func() { e.stats.CellHits++ },
+	sk := k.storeKey()
+	out, err := storeDo(ctx, e.cells, sk,
+		func() { e.addHit(&e.stats.CellHits) },
 		func() (Outcome, error) { return e.runCell(ctx, k, b) })
-	e.touchCell(k)
+	e.cells.Touch(sk)
 	return out, err
 }
 
-// touchCell records a use of k for LRU eviction and trims the cells memo
-// to the configured bound.
-func (e *Engine) touchCell(k cellKey) {
-	touchLRU(&e.mu, e.cells, e.cellLimit, e.lru, e.lruPos, k, &e.stats.CellEvictions)
-}
-
-// touchLRU is the LRU protocol shared by the cell and interval memos:
-// record a use of key k and trim the memo to limit completed entries. Only
-// completed entries are tracked — successes and memoized real errors
-// alike, so erroring keys cannot grow a memo past the bound. Entries still
-// being computed are never tracked or evicted: their claimant owns the
-// singleflight slot, and evicting it would detach waiters from the
-// in-flight result. mu must not be held by the caller; evictions is the
-// stats counter for the memo, updated under mu like the rest of Stats.
-func touchLRU[K comparable, V any](mu *sync.Mutex, m map[K]*entry[V], limit int,
-	l *list.List, pos map[K]*list.Element, k K, evictions *int) {
-	if limit <= 0 {
-		return
-	}
-	mu.Lock()
-	defer mu.Unlock()
-	ent, ok := m[k]
-	if !ok {
-		return // canceled claim: nothing memoized
-	}
-	select {
-	case <-ent.done:
-	default:
-		return // another claimant is mid-flight
-	}
-	if el, ok := pos[k]; ok {
-		l.MoveToFront(el)
-	} else {
-		pos[k] = l.PushFront(k)
-	}
-	for l.Len() > limit {
-		el := l.Back()
-		bk := el.Value.(K)
-		if ent, ok := m[bk]; ok {
-			select {
-			case <-ent.done:
-			default:
-				// The oldest tracked entry is mid-recomputation (its prior
-				// entry was canceled and a new claim is running); leave the
-				// memo one entry over rather than orphan the claim.
-				return
-			}
-			delete(m, bk)
-			*evictions++
-		}
-		l.Remove(el)
-		delete(pos, bk)
-	}
+// addHit bumps one of the hit counters under the stats lock.
+func (e *Engine) addHit(counter *int) {
+	e.mu.Lock()
+	*counter++
+	e.mu.Unlock()
 }
 
 // runCell executes the cell's simulation (after securing its sequential
@@ -582,8 +495,8 @@ func (e *Engine) runCell(ctx context.Context, k cellKey, b workload.Benchmark) (
 // cfg, with the same claim-or-wait discipline as cell.
 func (e *Engine) seqTime(ctx context.Context, cfg sim.Config, b workload.Benchmark) (uint64, error) {
 	k := seqKey{cfg: cfg.WithCores(1), fp: b.Spec.Fingerprint()}
-	return claimOrWait(ctx, &e.mu, e.seq, k,
-		func() { e.stats.SeqHits++ },
+	return storeDo(ctx, e.seq, k.storeKey(),
+		func() { e.addHit(&e.stats.SeqHits) },
 		func() (uint64, error) { return e.runSeq(ctx, cfg, b) })
 }
 

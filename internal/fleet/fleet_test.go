@@ -1,0 +1,284 @@
+package fleet_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/fleet"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// lateHandler lets the fleet handlers be installed after every node's
+// address is known — the member list must exist before any node can be
+// built.
+type lateHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (l *lateHandler) set(h http.Handler) { l.mu.Lock(); l.h = h; l.mu.Unlock() }
+
+func (l *lateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	l.mu.Lock()
+	h := l.h
+	l.mu.Unlock()
+	h.ServeHTTP(w, r)
+}
+
+// newFleet boots n real fleet nodes on loopback listeners, each with its
+// own engine, and returns their base URLs and engines.
+func newFleet(t *testing.T, n int) (urls []string, engines []*exp.Engine, handlers []*fleet.Handler) {
+	t.Helper()
+	late := make([]*lateHandler, n)
+	urls = make([]string, n)
+	for i := range late {
+		late[i] = &lateHandler{}
+		srv := httptest.NewServer(late[i])
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	engines = make([]*exp.Engine, n)
+	handlers = make([]*fleet.Handler, n)
+	for i := range late {
+		engines[i] = exp.NewEngine(sim.Default(), exp.WithWorkers(2))
+		svc := service.New(service.Options{Engine: engines[i]})
+		fh, err := fleet.Wrap(svc.Handler(), fleet.Options{Self: urls[i], Peers: urls})
+		if err != nil {
+			t.Fatal(err)
+		}
+		late[i].set(fh)
+		handlers[i] = fh
+	}
+	return urls, engines, handlers
+}
+
+func fetch(t *testing.T, method, url, body string) (int, string) {
+	t.Helper()
+	var resp *http.Response
+	var err error
+	if method == http.MethodGet {
+		resp, err = http.Get(url)
+	} else {
+		resp, err = http.Post(url, "application/json", strings.NewReader(body))
+	}
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+// splitBenches finds two cheap registered benchmarks homed on different
+// nodes of the ring, so sweep tests exercise the split path.
+func splitBenches(t *testing.T, h *fleet.Handler) (a, b string) {
+	t.Helper()
+	ring := h.Ring()
+	var first string
+	var firstHome string
+	for _, bench := range workload.All() {
+		home := ring.Owner(bench.Spec.Fingerprint().String())
+		if first == "" {
+			first, firstHome = bench.FullName(), home
+			continue
+		}
+		if home != firstHome {
+			return first, bench.FullName()
+		}
+	}
+	t.Skip("every benchmark homed on one node (astronomically unlikely)")
+	return "", ""
+}
+
+// TestFleetByteIdenticalToSingleNode is the determinism contract: every
+// node of a 3-node fleet answers every request with bytes identical to a
+// standalone single node — routing changes where simulations run, never
+// what is computed.
+func TestFleetByteIdenticalToSingleNode(t *testing.T) {
+	urls, _, handlers := newFleet(t, 3)
+	single := httptest.NewServer(service.New(service.Options{
+		Engine: exp.NewEngine(sim.Default(), exp.WithWorkers(2)),
+	}).Handler())
+	t.Cleanup(single.Close)
+
+	benchA, benchB := splitBenches(t, handlers[0])
+	sweepBody := fmt.Sprintf(
+		`{"cells":[{"bench":%q,"threads":2},{"bench":%q,"threads":2}]}`, benchA, benchB)
+	requests := []struct {
+		method, path, body string
+	}{
+		{http.MethodGet, "/v1/stack?bench=" + benchA + "&threads=2", ""},
+		{http.MethodGet, "/v1/stack?bench=" + benchA + "&threads=2&format=csv", ""},
+		{http.MethodGet, "/v1/stack?bench=" + benchB + "&threads=2&format=text", ""},
+		{http.MethodPost, "/v1/sweep", sweepBody},
+		{http.MethodPost, "/v1/sweep?format=ndjson", sweepBody},
+		{http.MethodGet, "/v1/advise?bench=" + benchA + "&max_threads=4", ""},
+	}
+	for _, req := range requests {
+		wantCode, want := fetch(t, req.method, single.URL+req.path, req.body)
+		if wantCode != http.StatusOK {
+			t.Fatalf("single node %s: %d %s", req.path, wantCode, want)
+		}
+		for i, u := range urls {
+			gotCode, got := fetch(t, req.method, u+req.path, req.body)
+			if gotCode != wantCode || got != want {
+				t.Errorf("node %d %s %s: code %d, body diverges from single node\ngot:  %q\nwant: %q",
+					i, req.method, req.path, gotCode, got, want)
+			}
+		}
+	}
+}
+
+// TestFleetExactlyOnceColdSweep hammers every node of a cold fleet with
+// concurrent identical requests and asserts the whole fleet simulated the
+// unique cell exactly once: home-node engine singleflight plus per-node
+// peer-fetch singleflight.
+func TestFleetExactlyOnceColdSweep(t *testing.T) {
+	urls, engines, _ := newFleet(t, 3)
+	bench := "blackscholes_parsec_small"
+	path := "/v1/stack?bench=" + bench + "&threads=2"
+
+	const perNode = 4
+	var wg sync.WaitGroup
+	for _, u := range urls {
+		for k := 0; k < perNode; k++ {
+			wg.Add(1)
+			go func(u string) {
+				defer wg.Done()
+				code, body := fetch(t, http.MethodGet, u+path, "")
+				if code != http.StatusOK {
+					t.Errorf("%s: %d %s", u, code, body)
+				}
+			}(u)
+		}
+	}
+	wg.Wait()
+
+	total := 0
+	for _, e := range engines {
+		total += e.Stats().CellRuns
+	}
+	if total != 1 {
+		t.Fatalf("fleet simulated the unique cell %d times under %d concurrent duplicate requests, want exactly 1",
+			total, len(urls)*perNode)
+	}
+
+	// Warm repeat from a non-home node must be a peer-cache hit, visible on
+	// that node's /metrics.
+	for _, u := range urls {
+		fetch(t, http.MethodGet, u+path, "")
+	}
+	hits := 0
+	for _, u := range urls {
+		_, m := fetch(t, http.MethodGet, u+"/metrics", "")
+		if !strings.Contains(m, "speedupd_fleet_nodes 3\n") {
+			t.Errorf("%s/metrics missing fleet node count:\n%s", u, m)
+		}
+		for _, line := range strings.Split(m, "\n") {
+			var n int
+			if _, err := fmt.Sscanf(line, "speedupd_fleet_peer_cache_hits_total %d", &n); err == nil {
+				hits += n
+			}
+		}
+	}
+	if hits == 0 {
+		t.Error("no peer-cache hits recorded across the fleet after warm repeats")
+	}
+}
+
+// TestFleetSweepSplitExactlyOnce repeats the exactly-once property for the
+// split sweep path: concurrent identical two-cell batches against every
+// node cost the fleet exactly two simulations.
+func TestFleetSweepSplitExactlyOnce(t *testing.T) {
+	urls, engines, handlers := newFleet(t, 3)
+	benchA, benchB := splitBenches(t, handlers[0])
+	body := fmt.Sprintf(
+		`{"cells":[{"bench":%q,"threads":2},{"bench":%q,"threads":2}]}`, benchA, benchB)
+
+	var wg sync.WaitGroup
+	for _, u := range urls {
+		for k := 0; k < 3; k++ {
+			wg.Add(1)
+			go func(u string) {
+				defer wg.Done()
+				code, resp := fetch(t, http.MethodPost, u+"/v1/sweep?format=ndjson", body)
+				if code != http.StatusOK {
+					t.Errorf("%s: %d %s", u, code, resp)
+					return
+				}
+				if lines := strings.Count(resp, "\n"); lines != 2 {
+					t.Errorf("%s: %d NDJSON lines, want 2", u, lines)
+				}
+			}(u)
+		}
+	}
+	wg.Wait()
+
+	total := 0
+	for _, e := range engines {
+		total += e.Stats().CellRuns
+	}
+	if total != 2 {
+		t.Fatalf("fleet simulated %d cells for 2 unique cells under concurrent duplicate sweeps", total)
+	}
+}
+
+// TestFleetPeerFailureFallsBackLocal points a node at a dead peer and
+// asserts requests homed there still answer correctly from a local
+// simulation, with the failure counted.
+func TestFleetPeerFailureFallsBackLocal(t *testing.T) {
+	late := &lateHandler{}
+	srv := httptest.NewServer(late)
+	t.Cleanup(srv.Close)
+	dead := "http://127.0.0.1:1" // nothing listens on port 1
+	e := exp.NewEngine(sim.Default(), exp.WithWorkers(2))
+	fh, err := fleet.Wrap(service.New(service.Options{Engine: e}).Handler(),
+		fleet.Options{Self: srv.URL, Peers: []string{srv.URL, dead}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	late.set(fh)
+
+	// Find a benchmark homed on the dead peer.
+	var bench string
+	for _, b := range workload.All() {
+		if fh.Ring().Owner(b.Spec.Fingerprint().String()) == dead {
+			bench = b.FullName()
+			break
+		}
+	}
+	if bench == "" {
+		t.Skip("no benchmark homed on the dead peer")
+	}
+	code, body := fetch(t, http.MethodGet, srv.URL+"/v1/stack?bench="+bench+"&threads=2", "")
+	if code != http.StatusOK {
+		t.Fatalf("fallback failed: %d %s", code, body)
+	}
+	if e.Stats().CellRuns != 1 {
+		t.Errorf("local fallback ran %d cells, want 1", e.Stats().CellRuns)
+	}
+	_, m := fetch(t, http.MethodGet, srv.URL+"/metrics", "")
+	if !strings.Contains(m, "speedupd_fleet_peer_errors_total 1") {
+		t.Errorf("metrics missing peer error count:\n%s", m)
+	}
+}
+
+// TestWrapRejectsAbsentSelf pins the configuration guard.
+func TestWrapRejectsAbsentSelf(t *testing.T) {
+	_, err := fleet.Wrap(http.NotFoundHandler(),
+		fleet.Options{Self: "a:1", Peers: []string{"b:1", "c:1"}})
+	if err == nil {
+		t.Fatal("Wrap accepted a self address missing from the member list")
+	}
+}

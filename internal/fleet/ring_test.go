@@ -1,0 +1,74 @@
+package fleet_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+func ringNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://node-%d:8080", i)
+	}
+	return nodes
+}
+
+// TestRingDeterministicAndBalanced pins the two properties routing relies
+// on: every member computes identical ownership from the same list, and
+// shares stay within a factor of two of fair.
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	a, err := fleet.NewRing(ringNodes(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := fleet.NewRing(ringNodes(3))
+	const keys = 3000
+	counts := make(map[string]int)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("fingerprint-%d", i)
+		owner := a.Owner(k)
+		if owner != b.Owner(k) {
+			t.Fatalf("two rings from one list disagree on %q", k)
+		}
+		counts[owner]++
+	}
+	for node, c := range counts {
+		if c < keys/5 || c > keys/2 {
+			t.Errorf("%s owns %d of %d keys — outside [1/5, 1/2]", node, c, keys)
+		}
+	}
+	if len(counts) != 3 {
+		t.Errorf("only %d nodes own keys", len(counts))
+	}
+}
+
+// TestRingMinimalRemap pins the consistent-hashing property: removing one
+// node only remaps the keys it owned.
+func TestRingMinimalRemap(t *testing.T) {
+	full, _ := fleet.NewRing(ringNodes(3))
+	reduced, _ := fleet.NewRing(ringNodes(3)[:2])
+	removed := ringNodes(3)[2]
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("fingerprint-%d", i)
+		before := full.Owner(k)
+		after := reduced.Owner(k)
+		if before != removed && after != before {
+			t.Fatalf("key %q moved from surviving node %q to %q", k, before, after)
+		}
+	}
+}
+
+// TestRingRejectsBadMembers pins the constructor guards.
+func TestRingRejectsBadMembers(t *testing.T) {
+	if _, err := fleet.NewRing(nil); err == nil {
+		t.Error("empty member list accepted")
+	}
+	if _, err := fleet.NewRing([]string{"a", "a"}); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if _, err := fleet.NewRing([]string{"a", ""}); err == nil {
+		t.Error("empty member address accepted")
+	}
+}

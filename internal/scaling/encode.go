@@ -24,6 +24,8 @@ func Encode(w io.Writer, f stack.Format, a Advice) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(a)
+	case stack.FormatNDJSON:
+		return json.NewEncoder(w).Encode(a)
 	case stack.FormatCSV:
 		return encodeCSV(w, a)
 	case stack.FormatSVG:

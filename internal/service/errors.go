@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"repro/internal/stack"
 	"repro/internal/whatif"
@@ -34,6 +35,8 @@ const (
 	codeSimTimeout          = "sim_timeout"
 	codeRequestCanceled     = "request_canceled"
 	codeSimFailed           = "sim_failed"
+	codeOverloaded          = "overloaded"
+	codeRateLimited         = "rate_limited"
 )
 
 // apiError is one failed request: the HTTP status, the envelope fields, and
@@ -43,6 +46,10 @@ type apiError struct {
 	Code       string
 	Message    string
 	Suggestion string
+	// RetryAfter, in seconds, becomes the Retry-After header on 429s —
+	// the client's backoff hint (client.Client honors it when retries are
+	// enabled).
+	RetryAfter int
 }
 
 func (e *apiError) Error() string { return e.Message }
@@ -112,6 +119,9 @@ func (s *Server) simAPIError(err error) *apiError {
 // else. Negotiation failures (the error being reported may itself be a bad
 // ?format=) fall back to the envelope.
 func writeError(w http.ResponseWriter, r *http.Request, e *apiError) {
+	if e.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter))
+	}
 	f, nerr := stack.NegotiateFormat(r.URL.Query().Get("format"), r.Header.Get("Accept"), stack.FormatJSON)
 	if nerr == nil && f == stack.FormatText {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Protection for the simulating endpoints: admission control bounds the
+// number of requests concurrently occupying the simulation path, and an
+// optional per-client token bucket bounds each caller's request rate. Both
+// answer a fast 429 with a Retry-After header and the uniform error
+// envelope instead of queueing unboundedly — under fleet load, shedding
+// early is what keeps the latency of admitted requests flat.
+
+// HopHeader marks a request forwarded once by a fleet peer (see
+// internal/fleet). The service recognizes it in one place: hop-marked
+// requests bypass the per-client rate limiter (the client was already
+// accounted on the node that accepted the request from the outside world)
+// but still count against admission — each node protects its own
+// simulation capacity.
+const HopHeader = "X-Speedupd-Fleet-Hop"
+
+// admission is a non-blocking concurrency gate over the simulating
+// handlers.
+type admission struct {
+	slots chan struct{}
+}
+
+func newAdmission(n int) *admission {
+	if n <= 0 {
+		return nil
+	}
+	return &admission{slots: make(chan struct{}, n)}
+}
+
+// acquire takes a slot without blocking; ok=false means the server is at
+// its bound and the request should be shed.
+func (a *admission) acquire() (release func(), ok bool) {
+	if a == nil {
+		return func() {}, true
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots }, true
+	default:
+		return nil, false
+	}
+}
+
+// inflight reports currently admitted requests.
+func (a *admission) inflight() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.slots)
+}
+
+// rateLimiter is a lazy per-client token bucket: rate tokens per second
+// refill up to burst, one token per request. Clients are keyed by IP; idle
+// buckets are pruned so the map stays bounded.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+const maxRateClients = 4096
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = int(math.Ceil(rate))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token for key, refilling by elapsed wall time. ok=false
+// comes with the duration after which a token will be available — the
+// Retry-After hint.
+func (l *rateLimiter) allow(key string, now time.Time) (retryAfter time.Duration, ok bool) {
+	if l == nil {
+		return 0, true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, found := l.buckets[key]
+	if !found {
+		if len(l.buckets) >= maxRateClients {
+			l.prune(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	return time.Duration((1 - b.tokens) / l.rate * float64(time.Second)), false
+}
+
+// prune drops buckets idle long enough to be full again; called under mu
+// when the map is at its bound.
+func (l *rateLimiter) prune(now time.Time) {
+	idle := time.Duration(l.burst / l.rate * float64(time.Second))
+	for k, b := range l.buckets {
+		if now.Sub(b.last) >= idle {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// clientKey identifies the caller for rate limiting: the connection's
+// remote IP.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// protect wraps a simulating handler with the rate limiter and admission
+// gate. Order matters: a rate-limited client is rejected before it can
+// occupy an admission slot.
+func (s *Server) protect(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(HopHeader) == "" {
+			if retry, ok := s.limiter.allow(clientKey(r), time.Now()); !ok {
+				s.mu.Lock()
+				s.rateLimited++
+				s.mu.Unlock()
+				writeError(w, r, &apiError{Status: http.StatusTooManyRequests, Code: codeRateLimited,
+					Message:    "per-client rate limit exceeded",
+					RetryAfter: int(math.Ceil(retry.Seconds()))})
+				return
+			}
+		}
+		release, ok := s.adm.acquire()
+		if !ok {
+			s.mu.Lock()
+			s.shed++
+			s.mu.Unlock()
+			writeError(w, r, &apiError{Status: http.StatusTooManyRequests, Code: codeOverloaded,
+				Message:    "server is at its concurrent-request bound; retry shortly",
+				RetryAfter: 1})
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}

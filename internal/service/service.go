@@ -63,8 +63,22 @@
 // repeating a what-if performs zero additional simulations.
 //
 // Report formats are negotiated per request: an explicit ?format= wins,
-// then the Accept header (application/json, text/csv, image/svg+xml,
-// text/plain), then JSON.
+// then the Accept header (application/json, application/x-ndjson, text/csv,
+// image/svg+xml, text/plain), then JSON. The ndjson format is the streaming
+// twin of json: one compact ReportRow per line. On POST /v1/sweep it changes
+// the serving discipline — rows are flushed in declared order as cells
+// complete, so a large batch starts answering with its first finished cells
+// instead of buffering the whole sweep; a failure after rows are on the wire
+// terminates the stream with an error-envelope line.
+//
+// Overload protection: Options.MaxInFlight bounds how many requests may
+// concurrently occupy the simulating endpoints — excess load is shed
+// immediately with 429 {"error":{"code":"overloaded",...}} and a
+// Retry-After header rather than queueing without bound — and
+// Options.RateLimit adds a per-client (remote IP) token bucket answering
+// 429 "rate_limited" the same way. Cheap introspection endpoints
+// (/healthz, /metrics, /v1/benchmarks, /v1/workloads/validate) bypass
+// both, so a shedding server can still be observed.
 //
 // The API surface is uniform: each endpoint accepts exactly its documented
 // query parameters (anything else is 400 unknown_parameter, never silently
@@ -120,6 +134,22 @@ type Options struct {
 	SimTimeout time.Duration
 	// MaxSweepCells caps the batch size of POST /v1/sweep (default 1024).
 	MaxSweepCells int
+	// MaxInFlight bounds how many requests may concurrently occupy the
+	// simulating endpoints; excess requests are shed immediately with a
+	// 429 "overloaded" envelope and a Retry-After header instead of
+	// queueing (0: unbounded). Non-simulating endpoints (/healthz,
+	// /metrics, /v1/benchmarks, /v1/workloads/validate) are never shed.
+	MaxInFlight int
+	// RateLimit, when positive, enforces a per-client (by remote IP)
+	// token-bucket rate on the simulating endpoints, in requests per
+	// second; over-limit requests get 429 "rate_limited" with Retry-After.
+	// Fleet-internal hops (requests carrying HopHeader) bypass the rate
+	// limiter — their client was accounted at the node that accepted them —
+	// but still count against MaxInFlight.
+	RateLimit float64
+	// RateBurst is the token-bucket depth when RateLimit is set
+	// (default: ceil(RateLimit), minimum 1).
+	RateBurst int
 	// Config is the machine configuration (default sim.Default()).
 	Config *sim.Config
 	// Engine, if set, overrides Workers/CacheCells/Config with a
@@ -149,10 +179,14 @@ type Server struct {
 	maxSweepCells int
 	mux           *http.ServeMux
 	started       time.Time
+	adm           *admission
+	limiter       *rateLimiter
 
-	mu        sync.Mutex
-	requests  map[string]uint64 // by route
-	responses map[int]uint64    // by status code
+	mu          sync.Mutex
+	requests    map[string]uint64 // by route
+	responses   map[int]uint64    // by status code
+	shed        uint64            // admission rejections (429 overloaded)
+	rateLimited uint64            // rate-limit rejections (429 rate_limited)
 }
 
 // New assembles a Server from the options.
@@ -192,14 +226,18 @@ func New(opts Options) *Server {
 		started:       time.Now(),
 		requests:      make(map[string]uint64),
 		responses:     make(map[int]uint64),
+		adm:           newAdmission(opts.MaxInFlight),
+		limiter:       newRateLimiter(opts.RateLimit, opts.RateBurst),
 	}
-	s.route("/v1/stack", http.MethodGet, s.handleStack)
-	s.route("/v1/stack/intervals", http.MethodGet, s.handleStackIntervals)
-	s.route("/v1/sweep", http.MethodPost, s.handleSweep)
-	s.route("/v1/workloads/analyze", http.MethodPost, s.handleAnalyze)
+	// The simulating endpoints sit behind the protection layer; the cheap
+	// introspection endpoints stay reachable even when the server is shedding.
+	s.route("/v1/stack", http.MethodGet, s.protect(s.handleStack))
+	s.route("/v1/stack/intervals", http.MethodGet, s.protect(s.handleStackIntervals))
+	s.route("/v1/sweep", http.MethodPost, s.protect(s.handleSweep))
+	s.route("/v1/workloads/analyze", http.MethodPost, s.protect(s.handleAnalyze))
 	s.route("/v1/workloads/validate", http.MethodPost, s.handleValidate)
-	s.route("/v1/advise", http.MethodGet, s.handleAdvise)
-	s.route("/v1/whatif", http.MethodPost, s.handleWhatIf)
+	s.route("/v1/advise", http.MethodGet, s.protect(s.handleAdvise))
+	s.route("/v1/whatif", http.MethodPost, s.protect(s.handleWhatIf))
 	s.route("/v1/benchmarks", http.MethodGet, s.handleBenchmarks)
 	s.route("/healthz", http.MethodGet, s.handleHealthz)
 	s.route("/metrics", http.MethodGet, s.handleMetrics)
@@ -258,6 +296,14 @@ func (w *statusWriter) status() int {
 		return http.StatusOK
 	}
 	return w.code
+}
+
+// Flush forwards to the underlying writer so the NDJSON streaming path can
+// push each row onto the wire as it completes.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // cellRequest is one cell of a POST body: either a registered benchmark
@@ -485,6 +531,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		cells[i] = cell
 	}
+	if opts.format == stack.FormatNDJSON {
+		s.streamSweep(w, r, cells, s.modeConfig(opts.mode))
+		return
+	}
 	ctx, cancel := s.simContext(r)
 	defer cancel()
 	outs, err := s.sweep(ctx, cells, s.modeConfig(opts.mode))
@@ -493,6 +543,61 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.respond(w, opts.format, outs)
+}
+
+// streamSweep answers an NDJSON sweep as a stream: one compact ReportRow
+// line per cell, in the declared cell order, each flushed onto the wire as
+// soon as that cell's result (and its predecessors') are available. Every
+// cell runs as its own engine request with the usual detach-on-timeout
+// discipline, so large batches start answering with their first completed
+// rows instead of buffering the whole sweep, and a timeout still leaves
+// the finished work in the cache. A failure before the first row is the
+// normal error response; after rows are on the wire the status is already
+// 200, so the envelope becomes the terminating line of the stream —
+// NDJSON consumers must treat a line with an "error" key as a failed tail.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, cells []exp.Cell, cfg *sim.Config) {
+	ctx, cancel := s.simContext(r)
+	defer cancel()
+	type result struct {
+		out exp.Outcome
+		err error
+	}
+	results := make([]chan result, len(cells))
+	for i := range cells {
+		results[i] = make(chan result, 1)
+		go func(i int, c exp.Cell) {
+			outs, err := s.sweep(ctx, []exp.Cell{c}, cfg)
+			if err != nil {
+				results[i] <- result{err: err}
+				return
+			}
+			results[i] <- result{out: outs[0]}
+		}(i, cells[i])
+	}
+	flusher, _ := w.(http.Flusher)
+	wrote := false
+	for i := range results {
+		res := <-results[i]
+		if res.err != nil {
+			ae := s.simAPIError(res.err)
+			ae.Message = fmt.Sprintf("cell %d: %s", exp.CellErrorIndexBase+i, ae.Message)
+			if !wrote {
+				writeError(w, r, ae)
+				return
+			}
+			json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{
+				Code: ae.Code, Message: ae.Message, Suggestion: ae.Suggestion}})
+			return
+		}
+		if !wrote {
+			w.Header().Set("Content-Type", stack.FormatNDJSON.ContentType())
+			wrote = true
+		}
+		stack.EncodeRowNDJSON(w, stack.Row(stack.Bar{Label: res.out.Bench.FullName(), Stack: res.out.Stack}))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 }
 
 // handleAnalyze serves POST /v1/workloads/analyze: one inline custom
@@ -782,10 +887,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "speedupd_sim_seq_runs_total %d\n", st.SeqRuns)
 	fmt.Fprintf(w, "speedupd_sim_seq_memo_hits_total %d\n", st.SeqHits)
 	fmt.Fprintf(w, "speedupd_sim_cell_evictions_total %d\n", st.CellEvictions)
+	// Cache occupancy next to the churn counters: how full the cell memo is
+	// against its configured bound (limit 0 = unbounded), so operators can
+	// size CacheCells from live data instead of eviction archaeology.
+	fmt.Fprintf(w, "speedupd_sim_cell_memo_entries %d\n", st.CellMemoEntries)
+	fmt.Fprintf(w, "speedupd_sim_cell_memo_limit %d\n", st.CellMemoLimit)
 	fmt.Fprintf(w, "speedupd_sim_interval_runs_total %d\n", st.IntervalRuns)
 	fmt.Fprintf(w, "speedupd_sim_interval_memo_hits_total %d\n", st.IntervalHits)
 	fmt.Fprintf(w, "speedupd_sim_interval_evictions_total %d\n", st.IntervalEvictions)
 	fmt.Fprintf(w, "speedupd_sim_inflight %d\n", st.InFlight)
+	// Protection-layer counters: requests shed at the admission gate, shed
+	// by the per-client rate limiter, and the currently admitted count.
+	s.mu.Lock()
+	shed, limited := s.shed, s.rateLimited
+	s.mu.Unlock()
+	fmt.Fprintf(w, "speedupd_throttled_total{reason=\"overloaded\"} %d\n", shed)
+	fmt.Fprintf(w, "speedupd_throttled_total{reason=\"rate_limited\"} %d\n", limited)
+	fmt.Fprintf(w, "speedupd_admitted_inflight %d\n", s.adm.inflight())
 	hitRate := 0.0
 	if lookups := st.CellRuns + st.CellHits; lookups > 0 {
 		hitRate = float64(st.CellHits) / float64(lookups)

@@ -28,11 +28,15 @@ const (
 	// FormatSVG is a standalone SVG document drawing the stacks as
 	// vertical stacked bars with a legend and measured-speedup markers.
 	FormatSVG Format = "svg"
+	// FormatNDJSON is newline-delimited JSON: one compact ReportRow object
+	// per line, flushed as results complete — the streaming form of
+	// FormatJSON for large batches.
+	FormatNDJSON Format = "ndjson"
 )
 
 // Formats lists the supported report formats in presentation order.
 func Formats() []Format {
-	return []Format{FormatText, FormatJSON, FormatCSV, FormatSVG}
+	return []Format{FormatText, FormatJSON, FormatNDJSON, FormatCSV, FormatSVG}
 }
 
 // ParseFormat resolves a format name ("text", "json", "csv", "svg"; "txt" is
@@ -43,6 +47,8 @@ func ParseFormat(s string) (Format, error) {
 		return FormatText, nil
 	case "json":
 		return FormatJSON, nil
+	case "ndjson", "jsonl":
+		return FormatNDJSON, nil
 	case "csv":
 		return FormatCSV, nil
 	case "svg":
@@ -57,6 +63,8 @@ func (f Format) ContentType() string {
 	switch f {
 	case FormatJSON:
 		return "application/json; charset=utf-8"
+	case FormatNDJSON:
+		return "application/x-ndjson; charset=utf-8"
 	case FormatCSV:
 		return "text/csv; charset=utf-8"
 	case FormatSVG:
@@ -68,11 +76,13 @@ func (f Format) ContentType() string {
 
 // acceptFormats maps media types of an HTTP Accept header onto formats.
 var acceptFormats = map[string]Format{
-	"application/json": FormatJSON,
-	"text/json":        FormatJSON,
-	"text/csv":         FormatCSV,
-	"image/svg+xml":    FormatSVG,
-	"text/plain":       FormatText,
+	"application/json":     FormatJSON,
+	"text/json":            FormatJSON,
+	"application/x-ndjson": FormatNDJSON,
+	"application/jsonl":    FormatNDJSON,
+	"text/csv":             FormatCSV,
+	"image/svg+xml":        FormatSVG,
+	"text/plain":           FormatText,
 }
 
 // NegotiateFormat picks the report format for an HTTP request: an explicit
@@ -178,6 +188,30 @@ func EncodeJSON(w io.Writer, bars []Bar) error {
 	return enc.Encode(Rows(bars))
 }
 
+// EncodeNDJSON writes the bars as newline-delimited JSON: one compact
+// ReportRow per line. A line is exactly json.Marshal(Row(bar)) plus a
+// newline, which is the contract the fleet layer's byte-level sweep
+// merging relies on.
+func EncodeNDJSON(w io.Writer, bars []Bar) error {
+	for _, b := range bars {
+		if err := EncodeRowNDJSON(w, Row(b)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EncodeRowNDJSON writes one report row as a single compact JSON line.
+func EncodeRowNDJSON(w io.Writer, row ReportRow) error {
+	data, err := json.Marshal(row)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
 // EncodeCSV writes one header row plus one record per stack with every
 // component in speedup units. The column layout is shared with the
 // experiment harness's figure CSV emitters.
@@ -224,6 +258,8 @@ func Encode(w io.Writer, f Format, bars []Bar) error {
 		return err
 	case FormatJSON:
 		return EncodeJSON(w, bars)
+	case FormatNDJSON:
+		return EncodeNDJSON(w, bars)
 	case FormatCSV:
 		return EncodeCSV(w, bars)
 	case FormatSVG:

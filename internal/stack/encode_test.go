@@ -125,13 +125,14 @@ func TestParseFormat(t *testing.T) {
 	for in, want := range map[string]Format{
 		"text": FormatText, "TXT": FormatText, " json ": FormatJSON,
 		"csv": FormatCSV, "SVG": FormatSVG,
+		"ndjson": FormatNDJSON, "jsonl": FormatNDJSON,
 	} {
 		got, err := ParseFormat(in)
 		if err != nil || got != want {
 			t.Errorf("ParseFormat(%q) = %v, %v; want %v", in, got, err, want)
 		}
 	}
-	for _, bad := range []string{"", "xml", "jsonl"} {
+	for _, bad := range []string{"", "xml", "yaml"} {
 		if _, err := ParseFormat(bad); err == nil {
 			t.Errorf("ParseFormat(%q) succeeded", bad)
 		}

@@ -257,6 +257,10 @@ func EncodeTimeSeries(w io.Writer, f Format, ts TimeSeries) error {
 		return err
 	case FormatJSON:
 		return EncodeTimeSeriesJSON(w, ts)
+	case FormatNDJSON:
+		// The one-object report as a single compact line, for uniformity
+		// with the streaming sweep format.
+		return json.NewEncoder(w).Encode(Report(ts))
 	case FormatCSV:
 		return EncodeTimeSeriesCSV(w, ts)
 	case FormatSVG:

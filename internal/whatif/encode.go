@@ -24,6 +24,8 @@ func Encode(w io.Writer, f stack.Format, r Report) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(r)
+	case stack.FormatNDJSON:
+		return json.NewEncoder(w).Encode(r)
 	case stack.FormatCSV:
 		return encodeCSV(w, r)
 	case stack.FormatSVG:

@@ -3,9 +3,9 @@
 #
 # Runs the full bench_test.go suite and emits two artifacts:
 #
-#   BENCH_PR8.txt   raw `go test -bench` output (benchstat-compatible; CI
+#   BENCH_PR9.txt   raw `go test -bench` output (benchstat-compatible; CI
 #                   compares fresh runs against it, warn-only)
-#   BENCH_PR8.json  machine-readable trajectory: benchmark name -> metric
+#   BENCH_PR9.json  machine-readable trajectory: benchmark name -> metric
 #                   -> mean value (ns/op, B/op, allocs/op, sim-ops/sec, ...)
 #
 # Environment knobs:
@@ -18,8 +18,8 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1x}"
 COUNT="${COUNT:-1}"
 BENCH="${BENCH:-.}"
-OUT_TXT="${OUT_TXT:-BENCH_PR8.txt}"
-OUT_JSON="${OUT_JSON:-BENCH_PR8.json}"
+OUT_TXT="${OUT_TXT:-BENCH_PR9.txt}"
+OUT_JSON="${OUT_JSON:-BENCH_PR9.json}"
 
 go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . \
   | tee "$OUT_TXT"

@@ -3,18 +3,31 @@
 // scaling advisor, and the uniform error envelope. CI starts a server and
 // runs it; it exits non-zero on the first failed check.
 //
+// With -fleet it additionally drives a separate two-node fleet (started
+// with -self/-peers): peer cache-fill byte-identity, fleet-wide
+// exactly-once simulation, forwarding counters, and streamed NDJSON
+// sweeps. With -limited it checks the 429 envelope of a rate-limited
+// server (started with -rate-limit 0.001 -rate-burst 1). These use their
+// own servers because the main suite pins literal run counts on -base.
+//
 // Usage:
 //
 //	go run ./scripts/smoke -base http://127.0.0.1:8091 [-pprof]
+//	    [-fleet http://127.0.0.1:8092,http://127.0.0.1:8093]
+//	    [-limited http://127.0.0.1:8094]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"net/url"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -24,6 +37,8 @@ import (
 func main() {
 	base := flag.String("base", "http://127.0.0.1:8080", "server base URL")
 	pprof := flag.Bool("pprof", false, "also probe /debug/pprof (server must run with -pprof)")
+	fleet := flag.String("fleet", "", "two comma-separated base URLs of a 2-node fleet (fleet checks)")
+	limited := flag.String("limited", "", "base URL of a server running -rate-limit 0.001 -rate-burst 1 (429 envelope check)")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
@@ -175,7 +190,127 @@ func main() {
 		_, _, err := c.Raw(ctx, "/debug/pprof/cmdline", nil, "")
 		check("pprof", err)
 	}
+	if *fleet != "" {
+		fleetChecks(ctx, *fleet)
+	}
+	if *limited != "" {
+		limitedChecks(ctx, *limited)
+	}
 	fmt.Println("smoke: all checks passed")
+}
+
+// fleetChecks drives a separate two-node fleet: the same cell through
+// either node answers byte-identically and costs the fleet exactly one
+// simulation, sweeps stream as NDJSON, and the fleet counters are live.
+func fleetChecks(ctx context.Context, pair string) {
+	urls := strings.Split(pair, ",")
+	expect("fleet", len(urls) == 2, "-fleet wants two comma-separated URLs, got %q", pair)
+	a, b := client.New(urls[0]), client.New(urls[1])
+	for _, node := range []*client.Client{a, b} {
+		var err error
+		for i := 0; i < 100; i++ {
+			if err = node.Healthz(ctx); err == nil {
+				break
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+		check("fleet healthz", err)
+	}
+
+	// Peer cache-fill: one cell through both nodes. Whichever node is not
+	// the cell's home forwards one hop and caches the home's bytes, so the
+	// two answers are byte-identical.
+	const bench = "canneal_parsec_small"
+	q := url.Values{"bench": {bench}, "threads": {"2"}}
+	bodyA, ctA, err := a.Raw(ctx, "/v1/stack", q, "")
+	check("fleet stack A", err)
+	bodyB, ctB, err := b.Raw(ctx, "/v1/stack", q, "")
+	check("fleet stack B", err)
+	expect("fleet byte-identity", string(bodyA) == string(bodyB) && ctA == ctB,
+		"nodes disagree: %q (%s) vs %q (%s)", bodyA, ctA, bodyB, ctB)
+
+	// Streamed NDJSON sweep through node A: one compact row line per cell,
+	// in declared order.
+	sweep := `{"cells":[{"bench":"canneal_parsec_small","threads":2},` +
+		`{"bench":"blackscholes_parsec_small","threads":2}]}`
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		urls[0]+"/v1/sweep", strings.NewReader(sweep))
+	check("fleet ndjson request", err)
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	check("fleet ndjson", err)
+	nb, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	check("fleet ndjson read", err)
+	expect("fleet ndjson", resp.StatusCode == 200 &&
+		strings.HasPrefix(resp.Header.Get("Content-Type"), "application/x-ndjson"),
+		"status %d, content type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	lines := strings.Split(strings.TrimSuffix(string(nb), "\n"), "\n")
+	expect("fleet ndjson", len(lines) == 2, "%d lines: %q", len(lines), nb)
+	for i, want := range []string{"canneal_parsec_small", "blackscholes_parsec_small"} {
+		expect("fleet ndjson", json.Valid([]byte(lines[i])) &&
+			strings.Contains(lines[i], `"benchmark":"`+want+`"`) &&
+			!strings.Contains(lines[i], "  "),
+			"line %d not a compact %s row: %q", i, want, lines[i])
+	}
+
+	// Exactly-once plus live counters: two unique cells were touched above
+	// (canneal x2 twice, blackscholes x2 once), so the fleet-wide run total
+	// is 2, and at least one request was forwarded to its home.
+	ma, err := a.Metrics(ctx)
+	check("fleet metrics A", err)
+	mb, err := b.Metrics(ctx)
+	check("fleet metrics B", err)
+	for _, m := range []string{ma, mb} {
+		expect("fleet metrics", strings.Contains(m, "speedupd_fleet_nodes 2"),
+			"speedupd_fleet_nodes 2 missing in:\n%s", m)
+	}
+	runs := metricValue(ma, "speedupd_sim_cell_runs_total") +
+		metricValue(mb, "speedupd_sim_cell_runs_total")
+	expect("fleet exactly-once", runs == 2,
+		"fleet simulated %d cells for 2 unique cells", runs)
+	forwarded := metricValue(ma, "speedupd_fleet_forwarded_total") +
+		metricValue(mb, "speedupd_fleet_forwarded_total")
+	expect("fleet forwarding", forwarded >= 1, "no request was forwarded")
+}
+
+// limitedChecks pins the shed envelope of a server started with
+// -rate-limit 0.001 -rate-burst 1: the first simulating request drains
+// the bucket, the second is a 429 with the uniform envelope and a
+// Retry-After hint.
+func limitedChecks(ctx context.Context, baseURL string) {
+	c := client.New(baseURL)
+	var err error
+	for i := 0; i < 100; i++ {
+		if err = c.Healthz(ctx); err == nil {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	check("limited healthz", err)
+	_, err = c.Stack(ctx, "blackscholes_parsec_small", 1, 0)
+	check("limited first request", err)
+	_, err = c.Stack(ctx, "blackscholes_parsec_small", 1, 0)
+	var ae *client.APIError
+	expect("429 envelope", errors.As(err, &ae), "error %v", err)
+	expect("429 envelope", ae.StatusCode == 429 && ae.Code == "rate_limited",
+		"APIError %+v", ae)
+}
+
+// metricValue extracts one counter from a Prometheus text exposition; a
+// missing metric is 0.
+func metricValue(metrics, name string) int {
+	for _, line := range strings.Split(metrics, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.Atoi(fields[1])
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return 0
 }
 
 // check exits on a hard error.
