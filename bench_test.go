@@ -233,13 +233,15 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "sim-ops/sec")
 }
 
-// sweepAllCells declares the fast-mode acceptance grid: every registered
-// analogue at 16 threads.
+// sweepAllCells declares the fast-mode acceptance grid: every paper
+// analogue at 16 threads. Deliberately All(), not Names(): the registry of
+// lookup names also carries the contention-pattern suite, and growing that
+// suite must not move the acceptance baselines.
 func sweepAllCells() []exp.Cell {
-	names := workload.Names()
-	cells := make([]exp.Cell, len(names))
-	for i, n := range names {
-		cells[i] = exp.Cell{Bench: n, Threads: 16}
+	benches := workload.All()
+	cells := make([]exp.Cell, len(benches))
+	for i, b := range benches {
+		cells[i] = exp.Cell{Bench: b.FullName(), Threads: 16}
 	}
 	return cells
 }

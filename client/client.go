@@ -194,6 +194,35 @@ func (c *Client) Analyze(ctx context.Context, spec speedupstack.Workload, thread
 	return rows[0], nil
 }
 
+// AnalyzeTrace uploads a recorded binary op trace (the speedup-stack
+// -record format, written by speedupstack.RecordTrace) and measures its
+// replay. The trace replays at its recorded thread count; cores 0 means
+// cores = threads. Re-uploading the same trace is a server-side cache hit —
+// the replay is memoized under the trace's content hash.
+func (c *Client) AnalyzeTrace(ctx context.Context, tr io.Reader, cores int) (speedupstack.StackRow, error) {
+	q := url.Values{}
+	if cores != 0 {
+		q.Set("cores", strconv.Itoa(cores))
+	}
+	target := c.BaseURL + "/v1/traces/analyze"
+	if q = c.addMode(q); len(q) > 0 {
+		target += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, tr)
+	if err != nil {
+		return speedupstack.StackRow{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	var rows []speedupstack.StackRow
+	if err := c.do(req, &rows); err != nil {
+		return speedupstack.StackRow{}, err
+	}
+	if len(rows) != 1 {
+		return speedupstack.StackRow{}, fmt.Errorf("speedupd: %d rows for one trace", len(rows))
+	}
+	return rows[0], nil
+}
+
 // AnalyzeIntervals is Analyze time-resolved.
 func (c *Client) AnalyzeIntervals(ctx context.Context, spec speedupstack.Workload, threads, cores, intervals int) (speedupstack.TimeSeriesReport, error) {
 	body := map[string]any{"spec": spec, "threads": threads, "intervals": intervals}

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"io"
@@ -310,5 +311,31 @@ func TestClientRetryHonorsContext(t *testing.T) {
 	}
 	if hits.Load() != 1 {
 		t.Errorf("%d attempts, want 1 (retry must not fire after cancel)", hits.Load())
+	}
+}
+
+// TestClientAnalyzeTrace drives the trace-upload wrapper through the full
+// HTTP stack: record in-process, upload, replay at the recorded thread
+// count, and get the uniform envelope back for a corrupt body.
+func TestClientAnalyzeTrace(t *testing.T) {
+	c := newTestClient(t)
+	ctx := context.Background()
+	var tr bytes.Buffer
+	if err := speedupstack.RecordTrace(&tr, testBench, 2); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	row, err := c.AnalyzeTrace(ctx, bytes.NewReader(tr.Bytes()), 0)
+	if err != nil {
+		t.Fatalf("analyze trace: %v", err)
+	}
+	if row.Benchmark != testBench || row.Threads != 2 || row.Actual <= 0 {
+		t.Errorf("unexpected row: %+v", row)
+	}
+
+	_, err = c.AnalyzeTrace(ctx, strings.NewReader("not a trace"), 0)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != 400 || ae.Code != "invalid_argument" ||
+		!strings.Contains(ae.Message, "bad trace") {
+		t.Errorf("corrupt trace error = %v", err)
 	}
 }

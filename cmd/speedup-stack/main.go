@@ -10,6 +10,8 @@
 //	speedup-stack -bench ferret -advise [-max-threads 16] [-format svg]
 //	speedup-stack -bench cholesky -threads 16 -whatif [-interventions halve_lock_hold,double_llc]
 //	speedup-stack -bench cholesky -threads 16 -mode fast
+//	speedup-stack -bench cholesky -threads 16 -record cholesky16.trace
+//	speedup-stack -trace cholesky16.trace [-format svg]
 //	speedup-stack -list
 //
 // -spec FILE analyzes a bring-your-own-benchmark workload spec (the JSON
@@ -37,6 +39,14 @@
 // is byte-identical run to run. The advisor, what-if and interval paths
 // stay exact in this CLI (the speedupd service serves their fast variants
 // via ?mode=fast).
+//
+// -record FILE runs the workload once and writes the binary op trace of that
+// run to FILE: every operation every thread issued, plus the run's machine
+// registrations — the compact versioned format specified in internal/trace.
+// -trace FILE replays a recorded trace instead of generating a workload and
+// prints its speedup stack; the replay reproduces the recorded run's result
+// byte-identically, at the trace's recorded thread count (-threads does not
+// apply), and the same file uploads to speedupd's POST /v1/traces/analyze.
 //
 // -whatif switches to the causal what-if engine: each applicable catalog
 // intervention (halve the lock hold time, remove imbalance, double the LLC,
@@ -67,6 +77,8 @@ func main() {
 	whatIf := flag.Bool("whatif", false, "run the causal what-if engine (predicted vs re-simulated intervention gains)")
 	interventions := flag.String("interventions", "", "comma-separated intervention IDs for -whatif (empty = full catalog)")
 	mode := flag.String("mode", "exact", "simulation fidelity: exact (byte-identical) or fast (sampled, several times faster, error-bounded)")
+	record := flag.String("record", "", "record the run's binary op trace to FILE instead of reporting")
+	tracePath := flag.String("trace", "", "replay a recorded trace FILE instead of generating a workload (overrides -bench/-spec)")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
 	flag.Parse()
 
@@ -97,6 +109,32 @@ func main() {
 		// (?mode=fast).
 		fmt.Fprintln(os.Stderr, "-mode fast applies to the aggregate stack only; drop -advise/-whatif/-intervals or use speedupd's ?mode=fast")
 		os.Exit(2)
+	}
+	if *record != "" {
+		if *tracePath != "" || *whatIf || *advise || *intervals > 0 || fast {
+			fmt.Fprintln(os.Stderr, "-record captures one exact aggregate run; drop -trace/-advise/-whatif/-intervals/-mode fast")
+			os.Exit(2)
+		}
+		if err := recordTrace(*spec, *bench, *threads, *record); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tracePath != "" {
+		if *whatIf || *advise || *intervals > 0 || fast {
+			// A trace replay is an exact aggregate measurement by contract:
+			// the replay must reproduce the recorded run byte-identically.
+			fmt.Fprintln(os.Stderr, "-trace replays the recorded run exactly; drop -advise/-whatif/-intervals/-mode fast")
+			os.Exit(2)
+		}
+		res, err := measureTrace(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		report(f, res)
+		return
 	}
 	if *whatIf {
 		var ids []string
@@ -143,6 +181,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	report(f, res)
+}
+
+// report prints one aggregate result in the requested format.
+func report(f speedupstack.Format, res speedupstack.Result) {
 	if f == speedupstack.FormatText {
 		fmt.Print(speedupstack.Render(res))
 		fmt.Println()
@@ -154,6 +197,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// recordTrace captures one run of the workload as a binary op trace file.
+func recordTrace(specPath, bench string, threads int, path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if specPath == "" {
+		err = speedupstack.RecordTrace(out, bench, threads)
+	} else {
+		var w speedupstack.Workload
+		if w, err = loadSpec(specPath); err == nil {
+			err = speedupstack.RecordTraceWorkload(out, w, threads)
+		}
+	}
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return err
+	}
+	return nil
+}
+
+// measureTrace replays a recorded trace file at its recorded thread count.
+func measureTrace(path string) (speedupstack.Result, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return speedupstack.Result{}, err
+	}
+	defer in.Close()
+	res, err := speedupstack.MeasureTrace(in)
+	if err != nil {
+		return speedupstack.Result{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return res, nil
 }
 
 // measure resolves the workload — a spec file or a registered name — and

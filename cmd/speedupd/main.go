@@ -15,6 +15,7 @@
 //	POST /v1/sweep
 //	POST /v1/workloads/analyze
 //	POST /v1/workloads/validate
+//	POST /v1/traces/analyze        (binary op trace from speedup-stack -record)
 //	GET  /v1/advise?bench=ferret&max_threads=16
 //	GET  /v1/benchmarks
 //	GET  /healthz

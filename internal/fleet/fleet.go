@@ -44,6 +44,7 @@ import (
 	"sync"
 
 	"repro/internal/service"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -179,6 +180,11 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			h.routeBodyCell(w, r)
 			return
 		}
+	case "/v1/traces/analyze":
+		if r.Method == http.MethodPost {
+			h.routeTrace(w, r)
+			return
+		}
 	case "/v1/sweep":
 		if r.Method == http.MethodPost {
 			h.routeSweep(w, r)
@@ -239,13 +245,19 @@ func (c cellIdentity) fingerprint() (workload.Fingerprint, bool) {
 // body is oversized or unreadable; the caller should serve locally and
 // let the service's own limits answer.
 func readBody(r *http.Request) ([]byte, bool) {
+	return readBodyN(r, 1<<20)
+}
+
+// readBodyN is readBody with an explicit size bound (trace uploads are
+// bounded by the service's own 32MB trace limit, not the 1MB JSON bound).
+func readBodyN(r *http.Request, limit int64) ([]byte, bool) {
 	if r.Body == nil {
 		return nil, true
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20+1))
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
 	r.Body.Close()
 	r.Body = io.NopCloser(bytes.NewReader(body))
-	if err != nil || len(body) > 1<<20 {
+	if err != nil || int64(len(body)) > limit {
 		return body, false
 	}
 	return body, true
@@ -271,19 +283,44 @@ func (h *Handler) routeBodyCell(w http.ResponseWriter, r *http.Request) {
 	h.routeKeyed(w, r, fp.String(), body)
 }
 
+// routeTrace routes POST /v1/traces/analyze. The routing key is the
+// trace's cheap header identity — workload.TraceIdentity over DecodeMeta,
+// the same fingerprint the home's engine memo keys on — so the
+// multi-megabyte payload is never decoded on the routing path, and the
+// peer-response cache keys on that identity (plus the label, which appears
+// in the response row) instead of the payload bytes. A body that does not
+// even yield a header is served locally, where the service produces the
+// canonical 400 envelope.
+func (h *Handler) routeTrace(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBodyN(r, service.MaxTraceBytes)
+	if !ok {
+		h.serveLocal(w, r)
+		return
+	}
+	m, err := trace.DecodeMeta(body)
+	if err != nil {
+		h.serveLocal(w, r)
+		return
+	}
+	key := workload.TraceIdentity(m).String()
+	h.routeHome(w, r, h.ring.Owner(key), body, "trace\x00"+key+"\x00"+m.Label)
+}
+
 // routeKeyed serves a single-workload request: locally when this node is
 // the key's home, otherwise from the home peer via the response cache.
 func (h *Handler) routeKeyed(w http.ResponseWriter, r *http.Request, key string, body []byte) {
-	h.routeHome(w, r, h.ring.Owner(key), body)
+	h.routeHome(w, r, h.ring.Owner(key), body, string(body))
 }
 
-// routeHome serves a request whose home node is already known.
-func (h *Handler) routeHome(w http.ResponseWriter, r *http.Request, home string, body []byte) {
+// routeHome serves a request whose home node is already known. bodyID
+// stands in for the body in the peer-cache identity — the body itself for
+// JSON requests, the compact header identity for trace uploads.
+func (h *Handler) routeHome(w http.ResponseWriter, r *http.Request, home string, body []byte, bodyID string) {
 	if home == h.self {
 		h.serveLocal(w, r)
 		return
 	}
-	resp, err := h.fromPeer(r, home, r.URL.RawQuery, body)
+	resp, err := h.fromPeer(r, home, r.URL.RawQuery, body, bodyID)
 	if err != nil {
 		// The home is unreachable: simulate locally rather than fail the
 		// request. This trades strict fleet-wide exactly-once for
@@ -298,8 +335,8 @@ func (h *Handler) routeHome(w http.ResponseWriter, r *http.Request, home string,
 
 // fromPeer answers from the peer-response cache, collapsing concurrent
 // identical misses onto a single forwarded request.
-func (h *Handler) fromPeer(r *http.Request, home, query string, body []byte) (*peerResp, error) {
-	key := peerKey(r, home, query, body)
+func (h *Handler) fromPeer(r *http.Request, home, query string, body []byte, bodyID string) (*peerResp, error) {
+	key := peerKey(r, home, query, bodyID)
 	if h.cache != nil {
 		if resp, ok := h.cache.get(key); ok {
 			h.count(&h.peerHits)
@@ -336,10 +373,11 @@ func (h *Handler) fromPeer(r *http.Request, home, query string, body []byte) (*p
 
 // peerKey is the cache identity of a forwarded request: everything that
 // can change the response bytes (the Accept header participates in format
-// negotiation).
-func peerKey(r *http.Request, home, query string, body []byte) string {
+// negotiation). bodyID is the body's stand-in — its bytes for JSON
+// requests, its header identity for traces.
+func peerKey(r *http.Request, home, query, bodyID string) string {
 	return r.Method + " " + home + r.URL.Path + "?" + query +
-		"\x00" + r.Header.Get("Accept") + "\x00" + string(body)
+		"\x00" + r.Header.Get("Accept") + "\x00" + bodyID
 }
 
 // forward performs one hop-marked peer request and captures the response.

@@ -1,6 +1,7 @@
 package fleet_test
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"net/http"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/service"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -280,5 +282,83 @@ func TestWrapRejectsAbsentSelf(t *testing.T) {
 		fleet.Options{Self: "a:1", Peers: []string{"b:1", "c:1"}})
 	if err == nil {
 		t.Fatal("Wrap accepted a self address missing from the member list")
+	}
+}
+
+// TestFleetTraceHoming pins the trace routing contract: a recorded trace
+// uploaded to a node that is not its home forwards exactly one hop to the
+// home resolved from the trace's header identity, the fleet simulates the
+// replay exactly once no matter how many nodes are asked, and every node
+// answers bytes identical to the home's.
+func TestFleetTraceHoming(t *testing.T) {
+	urls, engines, handlers := newFleet(t, 3)
+	b, ok := workload.ByName("blackscholes_parsec_small")
+	if !ok {
+		t.Fatal("test bench not registered")
+	}
+	f, _, err := workload.Record(sim.Default(), b.Spec, 2)
+	if err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	data := buf.String()
+	m, err := trace.DecodeMeta(buf.Bytes())
+	if err != nil {
+		t.Fatalf("DecodeMeta: %v", err)
+	}
+	home := handlers[0].Ring().Owner(workload.TraceIdentity(m).String())
+	homeIdx, awayIdx := -1, -1
+	for i, u := range urls {
+		if u == home {
+			homeIdx = i
+		} else if awayIdx < 0 {
+			awayIdx = i
+		}
+	}
+	if homeIdx < 0 || awayIdx < 0 {
+		t.Fatalf("home %q not among fleet urls %v", home, urls)
+	}
+
+	// Upload to a non-home node: one hop to the home, which simulates.
+	code, want := fetch(t, http.MethodPost, urls[awayIdx]+"/v1/traces/analyze", data)
+	if code != http.StatusOK {
+		t.Fatalf("away upload: %d %s", code, want)
+	}
+	total := 0
+	for i, e := range engines {
+		runs := int(e.Stats().CellRuns)
+		total += runs
+		if i != homeIdx && runs != 0 {
+			t.Errorf("node %d simulated %d cells for a trace homed on node %d", i, runs, homeIdx)
+		}
+	}
+	if total != 1 {
+		t.Fatalf("fleet-wide cell runs = %d after one trace upload, want exactly 1", total)
+	}
+
+	// Asking every node again answers identical bytes and simulates nothing:
+	// the home's memo and the peers' response caches absorb the repeats.
+	for i, u := range urls {
+		code, got := fetch(t, http.MethodPost, u+"/v1/traces/analyze", data)
+		if code != http.StatusOK || got != want {
+			t.Errorf("node %d: code %d, body diverges from home answer\ngot:  %q\nwant: %q", i, code, got, want)
+		}
+	}
+	total = 0
+	for _, e := range engines {
+		total += int(e.Stats().CellRuns)
+	}
+	if total != 1 {
+		t.Fatalf("fleet-wide cell runs = %d after repeats on every node, want exactly 1", total)
+	}
+
+	// A body with no decodable header is served locally: the asked node
+	// answers the service's canonical 400 envelope without touching peers.
+	code, body := fetch(t, http.MethodPost, urls[awayIdx]+"/v1/traces/analyze", "not a trace")
+	if code != http.StatusBadRequest || !strings.Contains(body, "invalid_argument") {
+		t.Errorf("corrupt trace: code %d, body %s", code, body)
 	}
 }

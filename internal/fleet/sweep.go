@@ -77,7 +77,7 @@ func (h *Handler) routeSweep(w http.ResponseWriter, r *http.Request) {
 	if allSame {
 		// One home owns every cell: the whole batch forwards verbatim (any
 		// format), and the home's engine deduplicates the batch internally.
-		h.routeHome(w, r, homes[0], body)
+		h.routeHome(w, r, homes[0], body, string(body))
 		return
 	}
 
@@ -154,7 +154,7 @@ func (h *Handler) routeSweep(w http.ResponseWriter, r *http.Request) {
 // fallback on peer failure.
 func (h *Handler) subSweep(r *http.Request, home, query string, body []byte) *peerResp {
 	if home != h.self {
-		resp, err := h.fromPeer(r, home, query, body)
+		resp, err := h.fromPeer(r, home, query, body, string(body))
 		if err == nil {
 			return resp
 		}

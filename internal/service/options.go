@@ -34,6 +34,9 @@ type optionSpec struct {
 	// mode accepts ?mode=exact|fast, the simulation fidelity. Endpoints
 	// without it always simulate in the engine's own mode.
 	mode bool
+	// traceCell accepts cores — the trace-analyze shape. Threads are not a
+	// parameter: a trace replays at its recorded thread count.
+	traceCell bool
 }
 
 // params lists the accepted parameter names, sorted, for error messages.
@@ -54,6 +57,9 @@ func (o optionSpec) params() []string {
 	if o.mode {
 		names = append(names, "mode")
 	}
+	if o.traceCell {
+		names = append(names, "cores")
+	}
 	sort.Strings(names)
 	return names
 }
@@ -65,6 +71,7 @@ type requestOptions struct {
 	intervals  int
 	maxThreads int
 	mode       sim.Mode
+	cores      int
 }
 
 // parseOptions parses and validates the request's query string against the
@@ -143,6 +150,15 @@ func parseOptions(r *http.Request, spec optionSpec) (requestOptions, *apiError) 
 			return requestOptions{}, badRequest("%v", err)
 		}
 		opts.mode = m
+	}
+	if spec.traceCell {
+		if s := q.Get("cores"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				return requestOptions{}, badRequest("bad cores %q: %v", s, err)
+			}
+			opts.cores = n
+		}
 	}
 	return opts, nil
 }

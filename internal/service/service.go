@@ -11,6 +11,7 @@
 //	                                {"spec":{...workload spec...},"threads":N}, ...]}
 //	POST /v1/workloads/analyze[?mode=F]  {"spec":{...},"threads":N[,"cores":M][,"intervals":K]}
 //	POST /v1/workloads/validate  {...workload spec...}  (dry run, no simulation)
+//	POST /v1/traces/analyze[?cores=M][&mode=F][&format=F]  binary op trace (≤32MB)
 //	GET  /v1/advise?bench=NAME[&max_threads=M][&mode=F][&format=json|csv|svg|text]
 //	POST /v1/whatif       {"bench":"...","threads":N[,"cores":M]
 //	                       [,"interventions":["halve_lock_hold",...]]}
@@ -44,6 +45,15 @@
 // form of workload.Spec). /v1/workloads/analyze measures one custom spec;
 // /v1/workloads/validate parses and validates a spec body and reports its
 // canonical form and fingerprint without simulating anything.
+//
+// /v1/traces/analyze is the recorded twin of /v1/workloads/analyze: the body
+// is a binary op trace captured with speedup-stack -record (the versioned
+// format specified in internal/trace), replayed at its recorded thread count
+// and measured end-to-end. The optional ?cores= overrides the cores=threads
+// default; threads is not a parameter, because a recorded op stream only
+// replays at the count it was captured with. The replay cell is memoized
+// under the trace's content hash (label excluded), so re-uploading the same
+// trace performs zero additional simulations.
 //
 // /v1/advise runs the scaling advisor (internal/scaling) over a memoized
 // thread sweep — powers of two up to max_threads (default 16, bounds
@@ -236,6 +246,7 @@ func New(opts Options) *Server {
 	s.route("/v1/sweep", http.MethodPost, s.protect(s.handleSweep))
 	s.route("/v1/workloads/analyze", http.MethodPost, s.protect(s.handleAnalyze))
 	s.route("/v1/workloads/validate", http.MethodPost, s.handleValidate)
+	s.route("/v1/traces/analyze", http.MethodPost, s.protect(s.handleTraceAnalyze))
 	s.route("/v1/advise", http.MethodGet, s.protect(s.handleAdvise))
 	s.route("/v1/whatif", http.MethodPost, s.protect(s.handleWhatIf))
 	s.route("/v1/benchmarks", http.MethodGet, s.handleBenchmarks)

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stack"
+	"repro/internal/workload"
+)
+
+// recordTestTrace captures testBench at the given thread count and returns
+// the encoded binary trace, ready to upload.
+func recordTestTrace(t *testing.T, threads int) []byte {
+	t.Helper()
+	b, ok := workload.ByName(testBench)
+	if !ok {
+		t.Fatalf("test bench %q not registered", testBench)
+	}
+	f, _, err := workload.Record(sim.Default(), b.Spec, threads)
+	if err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceAnalyzeEndpoint pins the trace-upload contract end to end: a
+// recorded binary trace uploaded to /v1/traces/analyze is replayed at its
+// recorded thread count and answers the usual report row, and repeating the
+// upload is a memo hit under the trace's content hash — zero additional
+// simulations, visible in the /metrics cell-run counters.
+func TestTraceAnalyzeEndpoint(t *testing.T) {
+	s, sims := newTestServer(t)
+	data := recordTestTrace(t, 2)
+
+	w := post(t, s.Handler(), "/v1/traces/analyze", string(data))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var rows []stack.ReportRow
+	if err := json.Unmarshal(w.Body.Bytes(), &rows); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Benchmark != testBench || rows[0].Threads != 2 {
+		t.Fatalf("unexpected rows: %+v", rows)
+	}
+	if rows[0].Actual <= 0 || rows[0].Estimated <= 0 {
+		t.Errorf("stack not populated: %+v", rows[0])
+	}
+	if *sims != 1 {
+		t.Fatalf("first upload ran %d simulations, want 1", *sims)
+	}
+
+	// Repeating the upload must hit the fingerprint-keyed memo: the trace's
+	// content hash is the identity, so the second analyze is free.
+	if w := post(t, s.Handler(), "/v1/traces/analyze", string(data)); w.Code != http.StatusOK {
+		t.Fatalf("repeat: status %d: %s", w.Code, w.Body)
+	}
+	if *sims != 1 {
+		t.Fatalf("repeated upload re-simulated: %d runs, want 1", *sims)
+	}
+	body := get(t, s.Handler(), "/metrics").Body.String()
+	for _, want := range []string{
+		"speedupd_sim_cell_runs_total 1",
+		"speedupd_sim_cell_runs_exact_total 1",
+		"speedupd_sim_cell_runs_fast_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q after trace analyze + repeat:\n%s", want, body)
+		}
+	}
+
+	// An explicit cores override is a different cell (own simulation), and a
+	// fast-mode replay never shares the exact entry.
+	if w := post(t, s.Handler(), "/v1/traces/analyze?cores=1", string(data)); w.Code != http.StatusOK {
+		t.Fatalf("cores=1: status %d: %s", w.Code, w.Body)
+	}
+	if *sims != 2 {
+		t.Fatalf("cores override did not simulate its own cell: %d runs", *sims)
+	}
+	if w := post(t, s.Handler(), "/v1/traces/analyze?mode=fast", string(data)); w.Code != http.StatusOK {
+		t.Fatalf("mode=fast: status %d: %s", w.Code, w.Body)
+	}
+	if st := s.Engine().Stats(); st.FastCellRuns != 1 {
+		t.Fatalf("fast replay not counted: %+v", st)
+	}
+}
+
+// TestTraceAnalyzeRejects pins the endpoint's failure shapes: corrupt bodies
+// and malformed or unknown parameters all answer the uniform envelope, and
+// nothing simulates.
+func TestTraceAnalyzeRejects(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.Handler()
+	data := recordTestTrace(t, 1)
+
+	// Corrupt trace: flip a byte past the header so decode fails.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	truncated := data[:len(data)/2]
+	for name, body := range map[string]string{
+		"empty":       "",
+		"not a trace": "{\"spec\":{}}",
+		"corrupt":     string(corrupt),
+		"truncated":   string(truncated),
+	} {
+		w := post(t, h, "/v1/traces/analyze", body)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, w.Code, w.Body)
+			continue
+		}
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+			t.Errorf("%s: bad envelope: %v", name, err)
+			continue
+		}
+		if env.Error.Code != "invalid_argument" || !strings.Contains(env.Error.Message, "bad trace") {
+			t.Errorf("%s: envelope %+v", name, env.Error)
+		}
+	}
+
+	// Threads is deliberately not a parameter — a trace replays at its
+	// recorded count — so it must be rejected like any unknown parameter.
+	if w := post(t, h, "/v1/traces/analyze?threads=4", string(data)); w.Code != http.StatusBadRequest ||
+		!strings.Contains(w.Body.String(), "unknown_parameter") {
+		t.Errorf("?threads=4: status %d, body %s", w.Code, w.Body)
+	}
+	if w := post(t, h, "/v1/traces/analyze?cores=bogus", string(data)); w.Code != http.StatusBadRequest ||
+		!strings.Contains(w.Body.String(), "invalid_argument") {
+		t.Errorf("?cores=bogus: status %d, body %s", w.Code, w.Body)
+	}
+	if w := post(t, h, "/v1/traces/analyze?cores=65", string(data)); w.Code != http.StatusBadRequest {
+		t.Errorf("?cores=65: status %d, body %s", w.Code, w.Body)
+	}
+	if st := s.Engine().Stats(); st.CellRuns != 0 {
+		t.Errorf("rejected requests ran %d simulations", st.CellRuns)
+	}
+}

@@ -1,0 +1,638 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// Binary op-trace format (version 1). A trace file captures one recorded
+// simulation: the exact per-thread op streams the simulator consumed, the
+// single-threaded reference stream, and the machine registrations (bounded
+// queues, stage barriers) plus sync-library grace overrides a replay needs
+// to reproduce the run byte-identically.
+//
+// Layout (all integers unsigned LEB128 varints unless noted):
+//
+//	offset 0   magic "SPTR" (4 raw bytes)
+//	offset 4   version (1 raw byte, = 1)
+//	offset 5   flags   (1 raw byte; bit0 = sequential stream present)
+//	           label       varint length (<= 256) + raw bytes
+//	           lock_grace / barrier_grace   varints (cycles)
+//	           queue registrations    varint count, then per queue: id, cap
+//	           barrier registrations  varint count, then per barrier: id, parties
+//	           threads     varint T in [1, 256]
+//	           sequential section (only when flagged), then T thread sections
+//
+// A section is: varint op count, varint byte length, then exactly that many
+// encoded ops occupying exactly that many bytes, the last of which must be
+// KindEnd (and KindEnd appears nowhere else). Each op starts with a head
+// byte — bits 0..3 the Kind, bit 4 "N present", bit 5 the Overhead flag,
+// bits 6..7 reserved zero — followed by kind-dependent varint operands:
+// Compute carries N always; Load/Store carry Addr then PC (then N when
+// flagged, default 1); sync ops carry ID (then N when flagged); End carries
+// nothing. Decode validates every section eagerly, so the streaming readers
+// handed to the simulator can never fail mid-run on hostile input.
+//
+// Content identity: the trace hash is sha256 over the version byte, the
+// flags byte and everything after the label. The label is excluded for the
+// same reason Spec.Fingerprint excludes Name and Suite — naming labels a
+// trace, it does not change what replays — so relabeled copies of one
+// recording share their cache, memo and fleet-routing identity.
+
+const (
+	formatMagic   = "SPTR"
+	formatVersion = 1
+
+	flagSequential = 1 << 0
+
+	headKindMask = 0x0f
+	headHasN     = 1 << 4
+	headOverhead = 1 << 5
+
+	maxLabelLen     = 256
+	maxRegs         = 1 << 16
+	maxTraceThreads = 256
+	// maxTraceGrace mirrors the workload spec bound so a decoded trace
+	// always builds a valid replay spec.
+	maxTraceGrace = 1 << 62
+)
+
+// QueueReg is one bounded-queue registration a replay must re-create.
+type QueueReg struct {
+	ID  uint32
+	Cap int
+}
+
+// BarrierReg is one barrier registration a replay must re-create.
+type BarrierReg struct {
+	ID      uint32
+	Parties int
+}
+
+// File is a recorded trace in memory, ready to encode. Build one from
+// Recorder output (the workload package's Record helper does) and write it
+// with Encode; read one back with Decode.
+type File struct {
+	// Label names the recording (reports, logs). It is excluded from the
+	// content hash: relabeling never changes replay identity.
+	Label string
+	// LockGrace and BarrierGrace are the recorded workload's sync-library
+	// spin-grace overrides in cycles (0 = machine default).
+	LockGrace, BarrierGrace uint64
+	// Queues and Barriers are the machine registrations the recorded run
+	// was simulated with; replay re-creates them verbatim.
+	Queues   []QueueReg
+	Barriers []BarrierReg
+	// Sequential is the single-threaded reference stream (optional; a
+	// trace without one can replay its parallel run but not produce a
+	// speedup stack, which needs the sequential time).
+	Sequential []Op
+	// Threads holds one recorded op stream per thread.
+	Threads [][]Op
+}
+
+// Encode writes the file in binary form. It fails on shapes the decoder
+// would reject (no threads, oversized label, out-of-range registrations),
+// so every encoded trace round-trips.
+func (f *File) Encode(w io.Writer) error {
+	buf, err := f.appendTo(nil)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// Data encodes the file and decodes it back, returning the validated
+// replayable form. This is the canonical way to go from recorded ops to a
+// *Data: it guarantees the in-memory form is exactly what a reader of the
+// written file would see.
+func (f *File) Data() (*Data, error) {
+	buf, err := f.appendTo(nil)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(buf)
+}
+
+// appendTo appends the encoded file to dst.
+func (f *File) appendTo(dst []byte) ([]byte, error) {
+	if len(f.Threads) < 1 || len(f.Threads) > maxTraceThreads {
+		return nil, fmt.Errorf("trace: thread count must be in [1, %d], got %d", maxTraceThreads, len(f.Threads))
+	}
+	if len(f.Label) > maxLabelLen {
+		return nil, fmt.Errorf("trace: label exceeds %d bytes", maxLabelLen)
+	}
+	if len(f.Queues) > maxRegs || len(f.Barriers) > maxRegs {
+		return nil, fmt.Errorf("trace: at most %d queue and %d barrier registrations", maxRegs, maxRegs)
+	}
+	if f.LockGrace > maxTraceGrace || f.BarrierGrace > maxTraceGrace {
+		return nil, fmt.Errorf("trace: grace values must be <= %d cycles", uint64(maxTraceGrace))
+	}
+	dst = append(dst, formatMagic...)
+	flags := byte(0)
+	if f.Sequential != nil {
+		flags |= flagSequential
+	}
+	dst = append(dst, formatVersion, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(f.Label)))
+	dst = append(dst, f.Label...)
+	dst = binary.AppendUvarint(dst, f.LockGrace)
+	dst = binary.AppendUvarint(dst, f.BarrierGrace)
+	dst = binary.AppendUvarint(dst, uint64(len(f.Queues)))
+	for _, q := range f.Queues {
+		if q.Cap < 0 {
+			return nil, fmt.Errorf("trace: negative capacity for queue %d", q.ID)
+		}
+		dst = binary.AppendUvarint(dst, uint64(q.ID))
+		dst = binary.AppendUvarint(dst, uint64(q.Cap))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(f.Barriers)))
+	for _, b := range f.Barriers {
+		if b.Parties < 0 {
+			return nil, fmt.Errorf("trace: negative parties for barrier %d", b.ID)
+		}
+		dst = binary.AppendUvarint(dst, uint64(b.ID))
+		dst = binary.AppendUvarint(dst, uint64(b.Parties))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(f.Threads)))
+	var err error
+	if f.Sequential != nil {
+		if dst, err = appendSection(dst, f.Sequential); err != nil {
+			return nil, fmt.Errorf("trace: sequential stream: %w", err)
+		}
+	}
+	for t, ops := range f.Threads {
+		if dst, err = appendSection(dst, ops); err != nil {
+			return nil, fmt.Errorf("trace: thread %d stream: %w", t, err)
+		}
+	}
+	return dst, nil
+}
+
+// appendSection appends one op-stream section (count, byte length, ops).
+func appendSection(dst []byte, ops []Op) ([]byte, error) {
+	if len(ops) == 0 || ops[len(ops)-1].Kind != KindEnd {
+		return nil, fmt.Errorf("stream must end with %v", KindEnd)
+	}
+	body := make([]byte, 0, len(ops)*3)
+	for i, op := range ops {
+		if op.Kind > KindEnd {
+			return nil, fmt.Errorf("op %d: unknown kind %d", i, op.Kind)
+		}
+		if op.Kind == KindEnd && i != len(ops)-1 {
+			return nil, fmt.Errorf("op %d: %v before the end of the stream", i, KindEnd)
+		}
+		body = appendOp(body, op)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(ops)))
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	return append(dst, body...), nil
+}
+
+// defaultN is the implied N of a kind when the head byte carries no explicit
+// count (the overwhelmingly common case, worth the flag bit).
+func defaultN(k Kind) uint32 {
+	if k == KindEnd {
+		return 0
+	}
+	return 1
+}
+
+// appendOp appends one encoded op.
+func appendOp(dst []byte, op Op) []byte {
+	head := byte(op.Kind)
+	hasN := op.Kind != KindCompute && op.N != defaultN(op.Kind)
+	if hasN {
+		head |= headHasN
+	}
+	if op.Overhead {
+		head |= headOverhead
+	}
+	dst = append(dst, head)
+	switch op.Kind {
+	case KindCompute:
+		dst = binary.AppendUvarint(dst, uint64(op.N))
+	case KindLoad, KindStore:
+		dst = binary.AppendUvarint(dst, op.Addr)
+		dst = binary.AppendUvarint(dst, op.PC)
+	case KindEnd:
+	default: // sync ops: lock, unlock, barrier, push, pop, closeq
+		dst = binary.AppendUvarint(dst, uint64(op.ID))
+	}
+	if hasN {
+		dst = binary.AppendUvarint(dst, uint64(op.N))
+	}
+	return dst
+}
+
+// Data is a decoded, fully validated trace: the replayable twin of File.
+// The op streams stay in encoded form — ThreadProgram and SequentialProgram
+// hand the simulator streaming readers that decode lazily — so holding a
+// Data costs roughly the file size, not an []Op expansion. Data is
+// immutable after Decode and safe for concurrent use; every reader it
+// creates has independent position state.
+type Data struct {
+	label                   string
+	lockGrace, barrierGrace uint64
+	queues                  []QueueReg
+	barriers                []BarrierReg
+	seq                     []byte
+	threads                 [][]byte
+	totalOps                uint64
+	hash                    [sha256.Size]byte
+}
+
+// Meta is the cheap header view of a trace: everything identity and routing
+// need, parsed without validating the op sections. DecodeMeta produces it.
+type Meta struct {
+	// Label is the recorded name.
+	Label string
+	// LockGrace and BarrierGrace are the recorded grace overrides.
+	LockGrace, BarrierGrace uint64
+	// Threads is the recorded thread count.
+	Threads int
+	// HashHex is the lowercase-hex content hash (the replay identity).
+	HashHex string
+}
+
+// decoder walks one buffer with bounds-checked varint reads.
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.pos }
+
+func (d *decoder) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("trace: truncated or malformed varint (%s) at offset %d", what, d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+// bytes consumes n bytes, failing (rather than allocating) when the buffer
+// does not hold them — header-declared lengths never cause allocation
+// beyond what was actually received.
+func (d *decoder) bytes(n uint64, what string) ([]byte, error) {
+	if n > uint64(d.remaining()) {
+		return nil, fmt.Errorf("trace: %s length %d exceeds the %d bytes remaining", what, n, d.remaining())
+	}
+	out := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return out, nil
+}
+
+// header parses magic through thread count, returning the partially filled
+// Data and the offset where hashing of the tail begins (just after the
+// label). Shared by Decode and DecodeMeta.
+func header(data []byte) (*Data, *decoder, error) {
+	if len(data) < 6 {
+		return nil, nil, fmt.Errorf("trace: %d bytes is shorter than the %d-byte header", len(data), 6)
+	}
+	if string(data[:4]) != formatMagic {
+		return nil, nil, fmt.Errorf("trace: bad magic %q (want %q)", data[:4], formatMagic)
+	}
+	if data[4] != formatVersion {
+		return nil, nil, fmt.Errorf("trace: unsupported version %d (this build reads version %d)", data[4], formatVersion)
+	}
+	flags := data[5]
+	if flags&^byte(flagSequential) != 0 {
+		return nil, nil, fmt.Errorf("trace: unknown flag bits %#x", flags&^byte(flagSequential))
+	}
+	d := &decoder{buf: data, pos: 6}
+	labelLen, err := d.uvarint("label length")
+	if err != nil {
+		return nil, nil, err
+	}
+	if labelLen > maxLabelLen {
+		return nil, nil, fmt.Errorf("trace: label length %d exceeds %d", labelLen, maxLabelLen)
+	}
+	label, err := d.bytes(labelLen, "label")
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Data{label: string(label)}
+
+	h := sha256.New()
+	h.Write(data[4:6])
+	h.Write(data[d.pos:])
+	h.Sum(t.hash[:0])
+
+	if t.lockGrace, err = d.uvarint("lock_grace"); err != nil {
+		return nil, nil, err
+	}
+	if t.barrierGrace, err = d.uvarint("barrier_grace"); err != nil {
+		return nil, nil, err
+	}
+	if t.lockGrace > maxTraceGrace || t.barrierGrace > maxTraceGrace {
+		return nil, nil, fmt.Errorf("trace: grace values must be <= %d cycles", uint64(maxTraceGrace))
+	}
+	if t.queues, err = decodeQueueRegs(d); err != nil {
+		return nil, nil, err
+	}
+	if t.barriers, err = decodeBarrierRegs(d); err != nil {
+		return nil, nil, err
+	}
+	threads, err := d.uvarint("thread count")
+	if err != nil {
+		return nil, nil, err
+	}
+	if threads < 1 || threads > maxTraceThreads {
+		return nil, nil, fmt.Errorf("trace: thread count must be in [1, %d], got %d", maxTraceThreads, threads)
+	}
+	t.threads = make([][]byte, threads)
+	if flags&flagSequential != 0 {
+		t.seq = []byte{} // non-nil marks presence; filled by Decode
+	}
+	return t, d, nil
+}
+
+func decodeQueueRegs(d *decoder) ([]QueueReg, error) {
+	n, err := d.uvarint("queue count")
+	if err != nil {
+		return nil, err
+	}
+	// Each registration occupies at least two bytes, so the remaining
+	// buffer bounds the believable count before anything is allocated.
+	if n > maxRegs || n*2 > uint64(d.remaining()) {
+		return nil, fmt.Errorf("trace: implausible queue count %d", n)
+	}
+	regs := make([]QueueReg, n)
+	for i := range regs {
+		id, err := d.uvarint("queue id")
+		if err != nil {
+			return nil, err
+		}
+		cap, err := d.uvarint("queue capacity")
+		if err != nil {
+			return nil, err
+		}
+		if id > 1<<32-1 || cap > 1<<20 {
+			return nil, fmt.Errorf("trace: queue registration %d out of range (id %d, cap %d)", i, id, cap)
+		}
+		regs[i] = QueueReg{ID: uint32(id), Cap: int(cap)}
+	}
+	return regs, nil
+}
+
+func decodeBarrierRegs(d *decoder) ([]BarrierReg, error) {
+	n, err := d.uvarint("barrier count")
+	if err != nil {
+		return nil, err
+	}
+	if n > maxRegs || n*2 > uint64(d.remaining()) {
+		return nil, fmt.Errorf("trace: implausible barrier count %d", n)
+	}
+	regs := make([]BarrierReg, n)
+	for i := range regs {
+		id, err := d.uvarint("barrier id")
+		if err != nil {
+			return nil, err
+		}
+		parties, err := d.uvarint("barrier parties")
+		if err != nil {
+			return nil, err
+		}
+		if id > 1<<32-1 || parties > maxTraceThreads {
+			return nil, fmt.Errorf("trace: barrier registration %d out of range (id %d, parties %d)", i, id, parties)
+		}
+		regs[i] = BarrierReg{ID: uint32(id), Parties: int(parties)}
+	}
+	return regs, nil
+}
+
+// Decode parses and fully validates a binary trace. Every op of every
+// section is walked once, so hostile input — truncated buffers, corrupt
+// varints, misplaced End ops, trailing garbage — fails here with a
+// positioned error and the returned Data's streaming readers can never
+// fail mid-simulation. Decode never panics and never allocates more than a
+// small multiple of len(data).
+func Decode(data []byte) (*Data, error) {
+	t, d, err := header(data)
+	if err != nil {
+		return nil, err
+	}
+	if t.seq != nil {
+		if t.seq, err = decodeSection(d, &t.totalOps); err != nil {
+			return nil, fmt.Errorf("trace: sequential stream: %w", err)
+		}
+	}
+	for i := range t.threads {
+		if t.threads[i], err = decodeSection(d, &t.totalOps); err != nil {
+			return nil, fmt.Errorf("trace: thread %d stream: %w", i, err)
+		}
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("trace: %d trailing bytes after the last stream", d.remaining())
+	}
+	return t, nil
+}
+
+// DecodeMeta parses just the trace header — label, graces, thread count,
+// content hash — without validating the op sections. It is the cheap
+// routing view: the fleet layer homes a multi-megabyte upload from its
+// Meta alone, leaving full validation to the home node's service.
+func DecodeMeta(data []byte) (Meta, error) {
+	t, _, err := header(data)
+	if err != nil {
+		return Meta{}, err
+	}
+	return Meta{
+		Label:        t.label,
+		LockGrace:    t.lockGrace,
+		BarrierGrace: t.barrierGrace,
+		Threads:      len(t.threads),
+		HashHex:      t.HashHex(),
+	}, nil
+}
+
+// decodeSection validates one op-stream section and returns its encoded
+// body. totalOps accumulates the declared (and verified) op count.
+func decodeSection(d *decoder, totalOps *uint64) ([]byte, error) {
+	count, err := d.uvarint("op count")
+	if err != nil {
+		return nil, err
+	}
+	size, err := d.uvarint("byte length")
+	if err != nil {
+		return nil, err
+	}
+	body, err := d.bytes(size, "stream")
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("empty stream (must hold at least %v)", KindEnd)
+	}
+	sd := decoder{buf: body}
+	for i := uint64(0); i < count; i++ {
+		op, err := decodeOp(&sd)
+		if err != nil {
+			return nil, fmt.Errorf("op %d: %w", i, err)
+		}
+		if (op.Kind == KindEnd) != (i == count-1) {
+			return nil, fmt.Errorf("op %d: %v must be exactly the final op", i, KindEnd)
+		}
+	}
+	if sd.remaining() != 0 {
+		return nil, fmt.Errorf("%d bytes beyond the declared %d ops", sd.remaining(), count)
+	}
+	*totalOps += count
+	return body, nil
+}
+
+// decodeOp decodes one op at the decoder's position.
+func decodeOp(d *decoder) (Op, error) {
+	if d.remaining() == 0 {
+		return Op{}, fmt.Errorf("truncated stream")
+	}
+	head := d.buf[d.pos]
+	d.pos++
+	if head&^byte(headKindMask|headHasN|headOverhead) != 0 {
+		return Op{}, fmt.Errorf("reserved head bits %#x set", head)
+	}
+	kind := Kind(head & headKindMask)
+	if kind > KindEnd {
+		return Op{}, fmt.Errorf("unknown kind %d", kind)
+	}
+	op := Op{Kind: kind, N: defaultN(kind), Overhead: head&headOverhead != 0}
+	var err error
+	switch kind {
+	case KindCompute:
+		if head&headHasN != 0 {
+			return Op{}, fmt.Errorf("compute carries its count unconditionally")
+		}
+		n, err := d.uvarint("compute count")
+		if err != nil {
+			return Op{}, err
+		}
+		if n > 1<<32-1 {
+			return Op{}, fmt.Errorf("compute count %d overflows uint32", n)
+		}
+		op.N = uint32(n)
+	case KindLoad, KindStore:
+		if op.Addr, err = d.uvarint("address"); err != nil {
+			return Op{}, err
+		}
+		if op.PC, err = d.uvarint("pc"); err != nil {
+			return Op{}, err
+		}
+	case KindEnd:
+	default:
+		id, err := d.uvarint("sync id")
+		if err != nil {
+			return Op{}, err
+		}
+		if id > 1<<32-1 {
+			return Op{}, fmt.Errorf("sync id %d overflows uint32", id)
+		}
+		op.ID = uint32(id)
+	}
+	if kind != KindCompute && head&headHasN != 0 {
+		n, err := d.uvarint("op count")
+		if err != nil {
+			return Op{}, err
+		}
+		if n > 1<<32-1 || n == uint64(defaultN(kind)) {
+			return Op{}, fmt.Errorf("non-canonical op count %d", n)
+		}
+		op.N = uint32(n)
+	}
+	return op, nil
+}
+
+// Label returns the recorded name (may be empty).
+func (t *Data) Label() string { return t.label }
+
+// Threads returns the recorded thread count.
+func (t *Data) Threads() int { return len(t.threads) }
+
+// HasSequential reports whether the trace carries the single-threaded
+// reference stream.
+func (t *Data) HasSequential() bool { return t.seq != nil }
+
+// LockGrace returns the recorded lock spin-grace override (0 = default).
+func (t *Data) LockGrace() uint64 { return t.lockGrace }
+
+// BarrierGrace returns the recorded barrier spin-grace override.
+func (t *Data) BarrierGrace() uint64 { return t.barrierGrace }
+
+// Queues returns the recorded bounded-queue registrations.
+func (t *Data) Queues() []QueueReg { return append([]QueueReg(nil), t.queues...) }
+
+// Barriers returns the recorded barrier registrations.
+func (t *Data) Barriers() []BarrierReg { return append([]BarrierReg(nil), t.barriers...) }
+
+// TotalOps returns the total recorded op count across every stream.
+func (t *Data) TotalOps() uint64 { return t.totalOps }
+
+// HashHex returns the lowercase-hex content hash: the trace's replay
+// identity, stable under relabeling.
+func (t *Data) HashHex() string { return hex.EncodeToString(t.hash[:]) }
+
+// ThreadProgram returns a fresh streaming reader over thread i's recorded
+// stream. Each call returns an independent program, so one Data replays any
+// number of times.
+func (t *Data) ThreadProgram(i int) BatchProgram {
+	return &streamReader{buf: t.threads[i]}
+}
+
+// SequentialProgram returns a fresh streaming reader over the recorded
+// single-threaded reference stream.
+func (t *Data) SequentialProgram() (BatchProgram, error) {
+	if t.seq == nil {
+		return nil, fmt.Errorf("trace: no sequential stream was recorded (re-record with the sequential reference to measure a speedup stack)")
+	}
+	return &streamReader{buf: t.seq}, nil
+}
+
+// streamReader replays one validated encoded section as a BatchProgram,
+// decoding ops lazily. Feedback is ignored — a recorded stream already took
+// its branches — but batches still end immediately after every KindPop so
+// the batch/feedback contract holds for any consumer counting on it.
+type streamReader struct {
+	buf  []byte
+	pos  int
+	done bool
+}
+
+// Next implements Program.
+func (r *streamReader) Next(Feedback) Op {
+	if r.done {
+		return End()
+	}
+	d := decoder{buf: r.buf, pos: r.pos}
+	op, err := decodeOp(&d)
+	if err != nil {
+		// Unreachable for Decode-validated sections; fail closed anyway.
+		r.done = true
+		return End()
+	}
+	r.pos = d.pos
+	if op.Kind == KindEnd {
+		r.done = true
+	}
+	return op
+}
+
+// NextBatch implements BatchProgram: it fills dst until the batch boundary
+// contract forces a cut — after a KindPop (fresh feedback only arrives at
+// batch boundaries) or at KindEnd.
+func (r *streamReader) NextBatch(dst []Op, fb Feedback) int {
+	n := 0
+	for n < len(dst) {
+		op := r.Next(fb)
+		dst[n] = op
+		n++
+		if op.Kind == KindPop || op.Kind == KindEnd {
+			break
+		}
+	}
+	return n
+}

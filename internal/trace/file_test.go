@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// sampleOps exercises the full op vocabulary, including non-default N and
+// the overhead flag.
+func sampleOps() []Op {
+	return []Op{
+		Compute(1200),
+		{Kind: KindCompute, N: 7, Overhead: true},
+		Load(0x1000_0000_0040, 17),
+		Store(0x2000_0000_0080, 23),
+		{Kind: KindLoad, N: 4, Addr: 64, PC: 3, Overhead: true},
+		Lock(2),
+		Unlock(2),
+		Barrier(2001),
+		Push(0),
+		Pop(0),
+		{Kind: KindPop, N: 3, ID: 1},
+		CloseQueue(0),
+		End(),
+	}
+}
+
+func sampleFile() *File {
+	return &File{
+		Label:        "sample_workload",
+		LockGrace:    1 << 40,
+		BarrierGrace: 1500,
+		Queues:       []QueueReg{{ID: 0, Cap: 16}, {ID: 1, Cap: 1}},
+		Barriers:     []BarrierReg{{ID: 2000, Parties: 1}, {ID: 2001, Parties: 3}},
+		Sequential:   []Op{Compute(10), Load(64, 1), End()},
+		Threads:      [][]Op{sampleOps(), {Compute(5), End()}},
+	}
+}
+
+// drain replays a program to exhaustion via NextBatch, asserting the batch
+// contract: every batch ends at (or before) the first KindPop, and the
+// stream terminates with KindEnd.
+func drain(t *testing.T, p BatchProgram) []Op {
+	t.Helper()
+	var out []Op
+	buf := make([]Op, 5)
+	for steps := 0; ; steps++ {
+		if steps > 1<<20 {
+			t.Fatalf("program did not terminate")
+		}
+		n := p.NextBatch(buf, Feedback{PopOK: true})
+		if n < 1 || n > len(buf) {
+			t.Fatalf("NextBatch returned %d ops for a %d-op buffer", n, len(buf))
+		}
+		for i, op := range buf[:n] {
+			if op.Kind == KindPop && i != n-1 {
+				t.Fatalf("batch continued past a %v at position %d of %d", KindPop, i, n)
+			}
+			out = append(out, op)
+			if op.Kind == KindEnd {
+				return out
+			}
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	f := sampleFile()
+	d, err := f.Data()
+	if err != nil {
+		t.Fatalf("Data: %v", err)
+	}
+	if d.Label() != f.Label || d.Threads() != 2 || !d.HasSequential() {
+		t.Fatalf("header mismatch: label %q threads %d seq %v", d.Label(), d.Threads(), d.HasSequential())
+	}
+	if d.LockGrace() != f.LockGrace || d.BarrierGrace() != f.BarrierGrace {
+		t.Fatalf("grace mismatch: %d/%d", d.LockGrace(), d.BarrierGrace())
+	}
+	if !reflect.DeepEqual(d.Queues(), f.Queues) || !reflect.DeepEqual(d.Barriers(), f.Barriers) {
+		t.Fatalf("registration mismatch: %v %v", d.Queues(), d.Barriers())
+	}
+	wantOps := uint64(len(f.Sequential) + len(f.Threads[0]) + len(f.Threads[1]))
+	if d.TotalOps() != wantOps {
+		t.Fatalf("TotalOps = %d, want %d", d.TotalOps(), wantOps)
+	}
+	for i := range f.Threads {
+		if got := drain(t, d.ThreadProgram(i)); !reflect.DeepEqual(got, f.Threads[i]) {
+			t.Fatalf("thread %d stream mismatch:\n got %v\nwant %v", i, got, f.Threads[i])
+		}
+	}
+	seq, err := d.SequentialProgram()
+	if err != nil {
+		t.Fatalf("SequentialProgram: %v", err)
+	}
+	if got := drain(t, seq); !reflect.DeepEqual(got, f.Sequential) {
+		t.Fatalf("sequential stream mismatch: %v", got)
+	}
+	// Readers are independent: draining one must not advance another.
+	a, b := d.ThreadProgram(0), d.ThreadProgram(0)
+	drain(t, a)
+	if got := drain(t, b); !reflect.DeepEqual(got, f.Threads[0]) {
+		t.Fatalf("second reader saw a drained stream")
+	}
+}
+
+func TestHashIgnoresLabel(t *testing.T) {
+	f := sampleFile()
+	d1, err := f.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Label = "renamed"
+	d2, err := f.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.HashHex() != d2.HashHex() {
+		t.Fatalf("relabeling changed the content hash: %s vs %s", d1.HashHex(), d2.HashHex())
+	}
+	f.LockGrace++
+	d3, err := f.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.HashHex() == d1.HashHex() {
+		t.Fatalf("changing lock_grace did not change the content hash")
+	}
+}
+
+func TestDecodeMetaMatchesDecode(t *testing.T) {
+	var buf bytes.Buffer
+	f := sampleFile()
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := DecodeMeta(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Meta{Label: d.Label(), LockGrace: d.LockGrace(), BarrierGrace: d.BarrierGrace(),
+		Threads: d.Threads(), HashHex: d.HashHex()}
+	if m != want {
+		t.Fatalf("DecodeMeta = %+v, want %+v", m, want)
+	}
+}
+
+func TestDecodeRejectsHostileInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleFile().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   valid[:5],
+		"bad magic":      append([]byte("NOPE"), valid[4:]...),
+		"bad version":    append([]byte("SPTR\x09"), valid[5:]...),
+		"unknown flags":  append([]byte("SPTR\x01\xff"), valid[6:]...),
+		"truncated body": valid[:len(valid)-3],
+		"trailing junk":  append(append([]byte{}, valid...), 0x00),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: Decode accepted hostile input", name)
+		}
+	}
+	// End mid-stream must be rejected.
+	if _, err := (&File{Threads: [][]Op{{Compute(1), End(), Compute(1), End()}}}).Data(); err == nil {
+		t.Errorf("mid-stream End was accepted")
+	}
+	if _, err := (&File{Threads: [][]Op{{Compute(1)}}}).Data(); err == nil {
+		t.Errorf("stream without End was accepted")
+	}
+}
+
+func FuzzTraceDecode(f *testing.F) {
+	var buf bytes.Buffer
+	if err := sampleFile().Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("SPTR\x01\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode must never panic or over-allocate; on success the trace
+		// must be fully replayable and agree with its cheap meta view.
+		d, err := Decode(data)
+		if err != nil {
+			return
+		}
+		m, merr := DecodeMeta(data)
+		if merr != nil {
+			t.Fatalf("Decode accepted what DecodeMeta rejects: %v", merr)
+		}
+		if m.Threads != d.Threads() || m.HashHex != d.HashHex() {
+			t.Fatalf("meta/full decode disagree: %+v vs %d %s", m, d.Threads(), d.HashHex())
+		}
+		total := uint64(0)
+		progs := make([]BatchProgram, 0, d.Threads()+1)
+		for i := 0; i < d.Threads(); i++ {
+			progs = append(progs, d.ThreadProgram(i))
+		}
+		if d.HasSequential() {
+			sp, err := d.SequentialProgram()
+			if err != nil {
+				t.Fatal(err)
+			}
+			progs = append(progs, sp)
+		}
+		ops := make([]Op, 64)
+		for _, p := range progs {
+			for {
+				n := p.NextBatch(ops, Feedback{})
+				if n < 1 || n > len(ops) {
+					t.Fatalf("NextBatch returned %d", n)
+				}
+				total += uint64(n)
+				if total > d.TotalOps() {
+					t.Fatalf("streams yielded more than the declared %d ops", d.TotalOps())
+				}
+				if ops[n-1].Kind == KindEnd {
+					break
+				}
+			}
+		}
+		if total != d.TotalOps() {
+			t.Fatalf("streams yielded %d ops, declared %d", total, d.TotalOps())
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package trace
+
+// Recorder wraps a Program and captures every op it hands the simulator, in
+// delivery order. Because the op stream of an execution-driven program can
+// depend on runtime feedback (KindPop branches on Feedback.PopOK), a
+// faithful recording must be taken during a real simulation — wrap each
+// program, run the simulation, then collect Ops. The simulator is
+// deterministic, so replaying the captured streams reproduces the recorded
+// run exactly.
+//
+// Recording is transparent: a Recorder implements BatchProgram by
+// delegating to the inner program's NextBatch when it has one, and by
+// one-op batches over Next otherwise — both are semantically identical to
+// running the inner program directly (batching is a transport optimization
+// by the BatchProgram contract), so a recorded run's Result equals an
+// unrecorded one's.
+type Recorder struct {
+	inner Program
+	batch BatchProgram // non-nil when inner batches
+	ops   []Op
+}
+
+// NewRecorder wraps p for recording.
+func NewRecorder(p Program) *Recorder {
+	r := &Recorder{inner: p}
+	if bp, ok := p.(BatchProgram); ok {
+		r.batch = bp
+	}
+	return r
+}
+
+// Next implements Program.
+func (r *Recorder) Next(fb Feedback) Op {
+	op := r.inner.Next(fb)
+	r.ops = append(r.ops, op)
+	return op
+}
+
+// NextBatch implements BatchProgram.
+func (r *Recorder) NextBatch(dst []Op, fb Feedback) int {
+	if r.batch == nil {
+		dst[0] = r.inner.Next(fb)
+		r.ops = append(r.ops, dst[0])
+		return 1
+	}
+	n := r.batch.NextBatch(dst, fb)
+	r.ops = append(r.ops, dst[:n]...)
+	return n
+}
+
+// Ops returns the captured stream. The final op is KindEnd once the wrapped
+// program has ended.
+func (r *Recorder) Ops() []Op { return r.ops }

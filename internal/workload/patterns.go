@@ -1,0 +1,174 @@
+package workload
+
+// Contention patterns: small synthetic workloads that each isolate one
+// scaling pathology and declare the speedup-stack component that must
+// dominate it. They are the known-answer suite for the whole analysis
+// stack — generator → simulator → accounting → stack → advisor — pinned by
+// TestPatternKnownAnswers in internal/exp at 4 and 16 threads.
+//
+// The patterns are registered alongside the Figure 6 analogues (ByName and
+// Names find them; the speedupd /v1/workloads listing and the CLIs accept
+// them), but they are deliberately NOT part of All(): the paper-reproduction
+// figures and the golden `experiments all` artifact hash span exactly the
+// 28 analogues, and growing the pattern suite must never move them.
+//
+// Adding a pattern: append a Benchmark here with Suite "contention", a
+// fresh Seed (901+), an ExpectedDominant component (a stack.Comp* name) and
+// an ExpectedClass advisor classification, keep it cheap (every pattern
+// runs at 1/4/16 threads in the whole-registry interval-invariant sweep and
+// twice per thread count in the known-answer suite), and document its
+// behaviour class in PAPER.md. The known-answer test picks it up
+// automatically via Patterns().
+var patterns = []Benchmark{
+	{
+		// A hot reference count: every thread read-modify-writes the same
+		// cache line, which ping-pongs between private caches. The
+		// accounting hardware cannot attribute coherence (the paper's
+		// Section 6 blind spot — OracleComponents tracks it separately),
+		// so the estimated stack pins the loss where the invalidation
+		// misses land: contended DRAM, i.e. memory interference.
+		Spec: Spec{
+			Name: "hot_refcount", Suite: "contention", Kind: KindDataParallel,
+			ArrayBytes: 1 << 16, SweepsPerPhase: 1, Phases: 2, InstrPerAccess: 250,
+			StoreFrac: 0.05, SharedBytes: 64, SharedFrac: 0.45, SharedStoreFrac: 0.85,
+			Seed: 901,
+		},
+		ExpectedDominant: "memory",
+		ExpectedClass:    "saturated",
+	},
+	{
+		// False sharing: logically private counters packed into a handful
+		// of lines, updated at random. Same signature as hot_refcount —
+		// coherence misses the hardware cannot attribute, surfacing as
+		// memory interference — spread over a few lines instead of one.
+		Spec: Spec{
+			Name: "false_sharing", Suite: "contention", Kind: KindDataParallel,
+			ArrayBytes: 1 << 16, SweepsPerPhase: 1, Phases: 2, InstrPerAccess: 250,
+			StoreFrac: 0.05, SharedBytes: 512, SharedFrac: 0.45, SharedStoreFrac: 0.9,
+			RandomShared: true, Seed: 902,
+		},
+		ExpectedDominant: "memory",
+		ExpectedClass:    "saturated",
+	},
+	{
+		// Queue handoff: a two-stage pipeline over a capacity-1 queue. Every
+		// push and pop is a rendezvous; both stages stall on the queue, the
+		// parked waits surface as yielding, and the handoff cost swamps the
+		// item work — parallelizing this way is slower than not (the
+		// advisor's one negative-scaling exemplar).
+		Spec: Spec{
+			Name: "queue_handoff", Suite: "contention", Kind: KindPipeline,
+			Items: 3000, ItemInstr: 900, ItemAccesses: 2, ArrayBytes: 1 << 16,
+			Stages:   []StageSpec{{Weight: 1}, {Weight: 1}},
+			QueueCap: 1, Seed: 903,
+		},
+		ExpectedDominant: "yielding",
+		ExpectedClass:    "negative",
+	},
+	{
+		// Reader-writer skew: read-mostly threads serialized by a single
+		// writer lock whose hold time far exceeds the adaptive library's
+		// spin grace, so the waiters park and the wall-clock loss is
+		// yielding (contrast lock_staircase, where the lock spins).
+		Spec: Spec{
+			Name: "rw_skew", Suite: "contention", Kind: KindDataParallel,
+			ArrayBytes: 1 << 18, SweepsPerPhase: 1, Phases: 2, InstrPerAccess: 500,
+			StoreFrac: 0.05, CSPerThreadPerPhase: 8, CSInstr: 60000, NumLocks: 1,
+			Seed: 904,
+		},
+		ExpectedDominant: "yielding",
+		ExpectedClass:    "saturated",
+	},
+	{
+		// Barrier convoy: many short barrier-separated phases with skewed
+		// work shares under pure-spin barriers (SPLASH-2 style grace), so
+		// the fast threads burn their wait spinning.
+		Spec: Spec{
+			Name: "barrier_convoy", Suite: "contention", Kind: KindDataParallel,
+			ArrayBytes: 1 << 18, SweepsPerPhase: 1, Phases: 12, InstrPerAccess: 600,
+			StoreFrac: 0.1, EffectiveParallelism: 3.0,
+			BarrierGrace: 1 << 40, Seed: 905,
+		},
+		ExpectedDominant: "spinning",
+		ExpectedClass:    "saturated",
+	},
+	{
+		// Lock staircase: one global spin lock (SPLASH-2 grace) with long
+		// critical sections; threads ascend the lock queue one at a time,
+		// spinning the whole climb.
+		Spec: Spec{
+			Name: "lock_staircase", Suite: "contention", Kind: KindDataParallel,
+			ArrayBytes: 1 << 18, SweepsPerPhase: 1, Phases: 2, InstrPerAccess: 500,
+			StoreFrac: 0.05, CSPerThreadPerPhase: 64, CSInstr: 4000, NumLocks: 1,
+			LockGrace: 1 << 40, Seed: 906,
+		},
+		ExpectedDominant: "spinning",
+		ExpectedClass:    "saturated",
+	},
+	{
+		// Serial dispatch: a task queue whose per-item dispatch section (the
+		// serial work under the global lock) rivals the item body, capping
+		// the effective parallelism at body/dispatch. The hold time stays
+		// far below the adaptive library's spin grace, so the convoy of
+		// waiters spins instead of parking — an adaptive mutex under
+		// high-frequency short holds never reaches the futex.
+		Spec: Spec{
+			Name: "dispatch_serial", Suite: "contention", Kind: KindTaskQueue,
+			Items: 4000, ItemInstr: 1500, ItemAccesses: 2, DispatchInstr: 700,
+			ArrayBytes: 1 << 18, StoreFrac: 0.1, Seed: 907,
+		},
+		ExpectedDominant: "spinning",
+		ExpectedClass:    "saturated",
+	},
+	{
+		// Drain tail: a fast producer stage buffers every item into an
+		// oversized queue and exits, leaving the slow consumer stage to
+		// drain the backlog for the rest of the run. The producer threads
+		// have ended (the generated families park residual skew behind
+		// convergence barriers everywhere else — the pipeline's final
+		// stage is the one structure that ends unsynchronized), so the
+		// idle shows up as end-of-run imbalance.
+		Spec: Spec{
+			Name: "drain_tail", Suite: "contention", Kind: KindPipeline,
+			Items: 2000, ItemInstr: 2400, ItemAccesses: 2, ArrayBytes: 1 << 16,
+			Stages:   []StageSpec{{Weight: 0.05}, {Weight: 0.95}},
+			QueueCap: 2048, Seed: 908,
+		},
+		ExpectedDominant: "imbalance",
+		ExpectedClass:    "saturated",
+	},
+	{
+		// Memory wall: a streaming sweep too large for any cache with
+		// little compute per access. Every thread misses to DRAM and the
+		// banks saturate; the loss is memory interference.
+		Spec: Spec{
+			Name: "memory_wall", Suite: "contention", Kind: KindDataParallel,
+			ArrayBytes: 8 << 20, SweepsPerPhase: 1, Phases: 1, InstrPerAccess: 60,
+			StoreFrac: 0.3, Seed: 909,
+		},
+		ExpectedDominant: "memory",
+		ExpectedClass:    "saturated",
+	},
+	{
+		// LLC thrash: repeated sweeps over a working set that fits a
+		// private LLC per thread but overflows the shared one, so the ATD's
+		// private counterfactual hits where the shared cache misses —
+		// negative cache interference by construction.
+		Spec: Spec{
+			Name: "llc_thrash", Suite: "contention", Kind: KindDataParallel,
+			ArrayBytes: 4 << 20, SweepsPerPhase: 4, Phases: 1, InstrPerAccess: 200,
+			StoreFrac: 0.1, Seed: 910,
+		},
+		ExpectedDominant: "cache",
+		ExpectedClass:    "saturated",
+	},
+}
+
+// Patterns returns the contention-pattern suite (Suite "contention"): the
+// known-answer workloads with declared dominant components and advisor
+// classifications. They are registered for lookup but excluded from All().
+func Patterns() []Benchmark {
+	out := make([]Benchmark, len(patterns))
+	copy(out, patterns)
+	return out
+}

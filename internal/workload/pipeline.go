@@ -161,23 +161,50 @@ func (s Spec) pipelinePrograms(threads int) []trace.Program {
 	return progs
 }
 
-// PipelineOptions returns the machine registrations (queue capacities and
-// per-stage barrier widths) a pipeline run needs.
+// registrations returns the machine registrations (queue capacities and
+// barrier widths) a run at the given thread count needs. Pipelines derive
+// them from the stage plan; trace replays carry them in the trace file;
+// the other families register nothing (their barriers are machine-default).
+func (s Spec) registrations(threads int) ([]trace.QueueReg, []trace.BarrierReg) {
+	switch s.Kind {
+	case KindPipeline:
+		eff, nStage := pipelinePlan(s.Stages, threads)
+		cap := s.QueueCap
+		if cap <= 0 {
+			cap = 16
+		}
+		queues := make([]trace.QueueReg, 0, len(eff)-1)
+		for q := 0; q < len(eff)-1; q++ {
+			queues = append(queues, trace.QueueReg{ID: uint32(q), Cap: cap})
+		}
+		barriers := make([]trace.BarrierReg, 0, len(eff))
+		for st := 0; st < len(eff); st++ {
+			barriers = append(barriers, trace.BarrierReg{ID: uint32(2000 + st), Parties: nStage[st]})
+		}
+		return queues, barriers
+	case KindTrace:
+		if s.traceData == nil {
+			return nil, nil
+		}
+		return s.traceData.Queues(), s.traceData.Barriers()
+	}
+	return nil, nil
+}
+
+// PipelineOptions returns the machine registrations a run needs as simulator
+// options (queue capacities and per-stage barrier widths for pipelines, the
+// recorded registrations for trace replays).
 func (s Spec) PipelineOptions(threads int) []sim.Option {
-	if s.Kind != KindPipeline {
+	queues, barriers := s.registrations(threads)
+	if len(queues)+len(barriers) == 0 {
 		return nil
 	}
-	eff, nStage := pipelinePlan(s.Stages, threads)
-	var opts []sim.Option
-	cap := s.QueueCap
-	if cap <= 0 {
-		cap = 16
+	opts := make([]sim.Option, 0, len(queues)+len(barriers))
+	for _, q := range queues {
+		opts = append(opts, sim.WithQueue(q.ID, q.Cap))
 	}
-	for q := 0; q < len(eff)-1; q++ {
-		opts = append(opts, sim.WithQueue(uint32(q), cap))
-	}
-	for st := 0; st < len(eff); st++ {
-		opts = append(opts, sim.WithBarrier(uint32(2000+st), nStage[st]))
+	for _, b := range barriers {
+		opts = append(opts, sim.WithBarrier(b.ID, b.Parties))
 	}
 	return opts
 }

@@ -15,6 +15,15 @@ type Benchmark struct {
 	PaperSpeedup16 float64
 	// PaperComponents are the expected largest components, in order.
 	PaperComponents []string
+	// ExpectedDominant names the single stack component (stack.Comp* name)
+	// that must dominate this workload's speedup stack at 4 and 16 threads.
+	// Set only for the contention patterns (patterns.go), whose known-answer
+	// suite asserts it; registry analogues use PaperComponents instead.
+	ExpectedDominant string
+	// ExpectedClass is the scaling classification ("linear", "saturated" or
+	// "negative") the advisor must assign over a 1..16 sweep. Set only for
+	// the contention patterns.
+	ExpectedClass string
 }
 
 // Name returns the benchmark name.
@@ -358,10 +367,14 @@ func All() []Benchmark {
 	return out
 }
 
-// Names lists the full benchmark identifiers (name_suite), sorted.
+// Names lists the full identifiers (name_suite) of every registered
+// workload — the Figure 6 analogues plus the contention patterns — sorted.
 func Names() []string {
-	names := make([]string, 0, len(registry))
+	names := make([]string, 0, len(registry)+len(patterns))
 	for _, b := range registry {
+		names = append(names, b.FullName())
+	}
+	for _, b := range patterns {
 		names = append(names, b.FullName())
 	}
 	sort.Strings(names)
@@ -377,9 +390,15 @@ func (b Benchmark) FullName() string {
 	return fmt.Sprintf("%s_%s", b.Spec.Name, b.Spec.Suite)
 }
 
-// ByName finds a benchmark by FullName or plain name (first match).
+// ByName finds a benchmark by FullName or plain name (first match), looking
+// through the Figure 6 analogues and then the contention patterns.
 func ByName(name string) (Benchmark, bool) {
 	for _, b := range registry {
+		if b.FullName() == name || b.Spec.Name == name {
+			return b, true
+		}
+	}
+	for _, b := range patterns {
 		if b.FullName() == name || b.Spec.Name == name {
 			return b, true
 		}

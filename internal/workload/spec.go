@@ -44,6 +44,12 @@ const (
 	KindTaskQueue
 	// KindPipeline is the queue-connected stage family.
 	KindPipeline
+	// KindTrace replays a recorded binary op trace (internal/trace's file
+	// format) instead of generating programs: the per-thread streams, the
+	// sequential reference and the machine registrations all come from the
+	// trace file. Trace specs are built with TraceSpec, never from JSON —
+	// a JSON body cannot carry the trace data.
+	KindTrace
 )
 
 // StageSpec describes one pipeline stage.
@@ -150,6 +156,21 @@ type Spec struct {
 
 	// Seed is the base RNG seed; every derived generator seeds from it.
 	Seed uint64 `json:"seed,omitempty"`
+
+	// --- Trace replay -------------------------------------------------------
+
+	// TraceHash is the content hash (lowercase hex sha256) of the recorded
+	// trace a KindTrace workload replays. TraceSpec sets it from the decoded
+	// trace; being part of the canonical spec, it carries the trace's
+	// identity into Fingerprint, so traces ride the same memo, cache and
+	// fleet-routing keys as generated workloads.
+	TraceHash string `json:"trace_hash,omitempty"`
+
+	// traceData is the decoded trace backing a KindTrace spec. Only
+	// TraceSpec sets it; it is invisible to JSON (a parsed spec of kind
+	// "trace" fails validation with an actionable error) and survives the
+	// value copies the engine makes during resolution.
+	traceData *trace.Data
 }
 
 // Validation bounds. They are generous (every registry analogue sits far
@@ -209,6 +230,15 @@ func (s Spec) Validate() error {
 			if !(st.Weight > 0) || st.Weight > maxStageWT { // !(>0) also catches NaN
 				return fail("stage %d weight must be in (0, %g], got %v", i, float64(maxStageWT), st.Weight)
 			}
+		}
+	case KindTrace:
+		if s.traceData == nil {
+			return fail("kind \"trace\" replays a recorded binary op trace and must be built from one" +
+				" (record with speedup-stack -record or speedupstack.RecordTrace, then load the file;" +
+				" a JSON spec cannot carry trace data)")
+		}
+		if s.TraceHash != s.traceData.HashHex() {
+			return fail("trace_hash %q does not match the attached trace (%s)", s.TraceHash, s.traceData.HashHex())
 		}
 	default:
 		return fail("unknown kind %d (want data_parallel, task_queue or pipeline)", s.Kind)
@@ -304,6 +334,14 @@ func (s Spec) Canonical() Spec {
 		c.SharedStoreFrac = 0 // pipeline shared accesses use StoreFrac
 		c.EffectiveParallelism = 0
 		c.CSPerThreadPerPhase, c.CSInstr, c.NumLocks, c.DispatchInstr = 0, 0, 0, 0
+	case KindTrace:
+		// Replay reads nothing but the trace itself and the grace
+		// overrides: the generator knobs are all inert, and the identity
+		// is exactly {kind, trace_hash, lock_grace, barrier_grace}.
+		d := c.traceData
+		c = Spec{Name: c.Name, Suite: c.Suite, Kind: KindTrace, TraceHash: c.TraceHash,
+			LockGrace: c.LockGrace, BarrierGrace: c.BarrierGrace}
+		c.traceData = d
 	}
 	return c
 }
@@ -341,6 +379,8 @@ func (s Spec) Parallel(threads int) ([]trace.Program, error) {
 		return s.taskQueuePrograms(threads), nil
 	case KindPipeline:
 		return s.pipelinePrograms(threads), nil
+	case KindTrace:
+		return s.tracePrograms(threads)
 	}
 	return nil, fmt.Errorf("workload %s: unknown kind", s.Name)
 }
@@ -358,6 +398,8 @@ func (s Spec) Sequential() (trace.Program, error) {
 		return s.taskQueueSequential(), nil
 	case KindPipeline:
 		return s.pipelineSequential(), nil
+	case KindTrace:
+		return s.traceSequential()
 	}
 	return nil, fmt.Errorf("workload %s: unknown kind", s.Name)
 }

@@ -23,6 +23,7 @@ var kindNames = [...]string{
 	KindDataParallel: "data_parallel",
 	KindTaskQueue:    "task_queue",
 	KindPipeline:     "pipeline",
+	KindTrace:        "trace",
 }
 
 // String names the kind ("data_parallel", "task_queue", "pipeline").

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Trace replay: the bring-your-own-op-stream path. A recorded trace file
+// (internal/trace's binary format) becomes a KindTrace Spec via TraceSpec,
+// after which every layer treats it like any other workload — the engine
+// memoizes it, the service caches it and the fleet routes it, all keyed by
+// the spec Fingerprint, which for traces is derived from the trace's
+// content hash. Record is the inverse: it runs a generated spec under a
+// recording wrapper and emits the trace file whose replay reproduces the
+// run byte-identically.
+
+// TraceSpec builds the replay spec for a decoded trace. The spec's name is
+// the trace label (or a hash-derived placeholder for unlabeled traces), its
+// identity the trace's content hash plus the recorded sync-library graces.
+func TraceSpec(d *trace.Data) Spec {
+	name := d.Label()
+	if name == "" {
+		name = "trace_" + d.HashHex()[:12]
+	}
+	s := Spec{
+		Name:         name,
+		Kind:         KindTrace,
+		TraceHash:    d.HashHex(),
+		LockGrace:    d.LockGrace(),
+		BarrierGrace: d.BarrierGrace(),
+	}
+	s.traceData = d
+	return s
+}
+
+// TraceThreads returns the thread count a trace spec was recorded at, the
+// only count it can replay. Generated kinds return zero.
+func (s Spec) TraceThreads() int {
+	if s.Kind != KindTrace || s.traceData == nil {
+		return 0
+	}
+	return s.traceData.Threads()
+}
+
+// TraceIdentity computes the Fingerprint a trace will have once fully
+// decoded, from its cheap header view alone: TraceIdentity(m) equals
+// TraceSpec(d).Fingerprint() whenever m describes d. The fleet router uses
+// it to home a trace upload without decoding megabytes of op streams.
+func TraceIdentity(m trace.Meta) Fingerprint {
+	s := Spec{Kind: KindTrace, TraceHash: m.HashHex,
+		LockGrace: m.LockGrace, BarrierGrace: m.BarrierGrace}
+	return s.Fingerprint()
+}
+
+// tracePrograms returns the recorded per-thread streams. A trace is a fixed
+// execution, not a generator: it replays only at the recorded thread count.
+func (s Spec) tracePrograms(threads int) ([]trace.Program, error) {
+	d := s.traceData
+	if threads != d.Threads() {
+		return nil, fmt.Errorf("workload %s: trace was recorded at %d threads and replays only at that count, got %d",
+			s.Name, d.Threads(), threads)
+	}
+	progs := make([]trace.Program, threads)
+	for i := range progs {
+		progs[i] = d.ThreadProgram(i)
+	}
+	return progs, nil
+}
+
+// traceSequential returns the recorded single-threaded reference stream.
+func (s Spec) traceSequential() (trace.Program, error) {
+	p, err := s.traceData.SequentialProgram()
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", s.Name, err)
+	}
+	return p, nil
+}
+
+// Record runs spec s at the given thread count on cfg's machine, capturing
+// every op the simulator consumed (parallel streams plus the sequential
+// reference), and returns the trace file alongside the recorded run's
+// result. The capture happens during a live simulation because op streams
+// are execution-driven (pipeline programs branch on pop feedback); the
+// simulator is deterministic, so replaying the file under the same machine
+// reproduces the recorded result exactly — Record mirrors the sweep
+// engine's run mechanics (cores = threads, tuned sync policy, the family's
+// machine registrations, accounting off for the reference) so the engine's
+// replay of the file is byte-identical to its live run of s.
+func Record(cfg sim.Config, s Spec, threads int) (*trace.File, sim.Result, error) {
+	fail := func(err error) (*trace.File, sim.Result, error) { return nil, sim.Result{}, err }
+	if err := s.Validate(); err != nil {
+		return fail(err)
+	}
+	if s.Kind == KindTrace {
+		return fail(fmt.Errorf("workload %s: already a trace replay; copy the trace file instead of re-recording it", s.Name))
+	}
+	if threads <= 0 || threads > 256 {
+		return fail(fmt.Errorf("workload %s: record thread count must be in [1, 256], got %d", s.Name, threads))
+	}
+	label := Benchmark{Spec: s}.FullName()
+	s = s.Canonical()
+
+	progs, err := s.Parallel(threads)
+	if err != nil {
+		return fail(err)
+	}
+	recs := make([]*trace.Recorder, threads)
+	wrapped := make([]trace.Program, threads)
+	for i, p := range progs {
+		recs[i] = trace.NewRecorder(p)
+		wrapped[i] = recs[i]
+	}
+	runCfg := cfg.WithCores(threads)
+	runCfg.Policy = s.TunePolicy(runCfg.Policy)
+	res, err := sim.Run(runCfg, wrapped, s.PipelineOptions(threads)...)
+	if err != nil {
+		return fail(fmt.Errorf("%s x%d: %w", label, threads, err))
+	}
+
+	seqProg, err := s.Sequential()
+	if err != nil {
+		return fail(err)
+	}
+	seqRec := trace.NewRecorder(seqProg)
+	seqCfg := cfg
+	seqCfg.Policy = s.TunePolicy(seqCfg.Policy)
+	if _, err := sim.RunSequential(seqCfg, seqRec, sim.WithoutAccounting()); err != nil {
+		return fail(fmt.Errorf("%s sequential: %w", label, err))
+	}
+
+	queues, barriers := s.registrations(threads)
+	f := &trace.File{
+		Label:        label,
+		LockGrace:    s.LockGrace,
+		BarrierGrace: s.BarrierGrace,
+		Queues:       queues,
+		Barriers:     barriers,
+		Sequential:   seqRec.Ops(),
+		Threads:      make([][]trace.Op, threads),
+	}
+	for i, r := range recs {
+		f.Threads[i] = r.Ops()
+	}
+	return f, res, nil
+}

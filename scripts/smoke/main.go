@@ -18,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -31,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	speedupstack "repro"
 	"repro/client"
 )
 
@@ -140,6 +142,22 @@ func main() {
 	check("fast stack repeat", err)
 	expect("fast stack repeat", frow2 == frow, "fast rows differ: %+v vs %+v", frow2, frow)
 
+	// Recorded traces: record a cheap cell in-process (the same binary
+	// format speedup-stack -record writes), upload it, and replay it at its
+	// recorded thread count. Repeating the upload must ride the trace's
+	// content-hash identity into the memo: zero extra simulations — pinned
+	// by the run totals in the metrics block below.
+	var tr bytes.Buffer
+	const traceBench = "blackscholes_parsec_small"
+	check("trace record", speedupstack.RecordTrace(&tr, traceBench, 2))
+	trow, err := c.AnalyzeTrace(ctx, bytes.NewReader(tr.Bytes()), 0)
+	check("trace analyze", err)
+	expect("trace analyze", trow.Benchmark == traceBench && trow.Threads == 2 && trow.Actual > 0,
+		"row %+v", trow)
+	trow2, err := c.AnalyzeTrace(ctx, bytes.NewReader(tr.Bytes()), 0)
+	check("trace analyze repeat", err)
+	expect("trace analyze repeat", trow2 == trow, "trace rows differ: %+v vs %+v", trow2, trow)
+
 	// The uniform error envelope: a typo'd benchmark is a 404 whose
 	// suggestion is machine-readable, an undeclared query parameter is
 	// a 400 with its own stable code, and a typo'd what-if intervention is
@@ -166,18 +184,24 @@ func main() {
 	expect("bad-mode envelope", errors.As(err, &ae), "error %v", err)
 	expect("bad-mode envelope", ae.StatusCode == 400 && ae.Code == "invalid_argument",
 		"APIError %+v", ae)
+	// A corrupt trace body answers the same envelope, and simulates nothing.
+	_, err = c.AnalyzeTrace(ctx, strings.NewReader("not a trace"), 0)
+	expect("corrupt-trace envelope", errors.As(err, &ae), "error %v", err)
+	expect("corrupt-trace envelope", ae.StatusCode == 400 && ae.Code == "invalid_argument" &&
+		strings.Contains(ae.Message, "bad trace"), "APIError %+v", ae)
 
 	// Metrics: the run count pins the cache discipline of everything above —
 	// stack (1 run, shared by svg/intervals), analyze (1), advise (threads
 	// 1/2/4 new, 8 cached: 3), what-if (baseline cached, 4 mutated cells),
-	// fast stack (1 sampled run, repeat cached); the what-if repeat, the
+	// fast stack (1 sampled run, repeat cached), trace analyze (1 replay,
+	// repeat cached under the trace's content hash); the what-if repeat, the
 	// subset, and every error ran nothing. The fidelity split counts the
-	// sampled run separately from the nine exact ones.
+	// sampled run separately from the ten exact ones.
 	metrics, err := c.Metrics(ctx)
 	check("metrics", err)
 	for _, want := range []string{
-		"speedupd_sim_cell_runs_total 10",
-		"speedupd_sim_cell_runs_exact_total 9",
+		"speedupd_sim_cell_runs_total 11",
+		"speedupd_sim_cell_runs_exact_total 10",
 		"speedupd_sim_cell_runs_fast_total 1",
 		"speedupd_simulated_ops_total",
 		"speedupd_simulated_ops_per_second",

@@ -1,0 +1,66 @@
+package speedupstack
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Trace recording and replay. A recorded trace is the compact versioned
+// binary op-trace format of internal/trace: every operation every thread
+// issued during one run of a workload on the default machine, plus the run's
+// queue/barrier registrations and sync-library overrides. Replaying a trace
+// reproduces the original run's sim.Result byte-identically, at exactly the
+// thread count it was recorded with, and is memoized under the trace's
+// content hash (the label does not participate) across MeasureSpec, the
+// speedupd service and the fleet.
+
+// RecordTrace runs the named benchmark analogue at the given thread count on
+// the default machine and writes the binary op trace of that run to w. The
+// written bytes are what POST /v1/traces/analyze, LoadTrace and the
+// speedup-stack -trace flag accept.
+func RecordTrace(w io.Writer, benchmark string, threads int) error {
+	b, ok := workload.ByName(benchmark)
+	if !ok {
+		return workload.UnknownBenchmarkError(benchmark)
+	}
+	return RecordTraceWorkload(w, b.Spec, threads)
+}
+
+// RecordTraceWorkload is RecordTrace for a custom workload.
+func RecordTraceWorkload(w io.Writer, wl Workload, threads int) error {
+	f, _, err := workload.Record(sim.Default(), wl, threads)
+	if err != nil {
+		return err
+	}
+	return f.Encode(w)
+}
+
+// LoadTrace reads a recorded binary op trace and returns the Workload that
+// replays it. The workload measures like any other (MeasureSpec,
+// MeasureSpecAll, the service), but only at the trace's recorded thread
+// count — TraceThreads reports it.
+func LoadTrace(r io.Reader) (Workload, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return Workload{}, fmt.Errorf("reading trace: %v", err)
+	}
+	d, err := trace.Decode(data)
+	if err != nil {
+		return Workload{}, err
+	}
+	return workload.TraceSpec(d), nil
+}
+
+// MeasureTrace loads a recorded trace and measures its replay at the
+// recorded thread count — the one-call form of LoadTrace + MeasureSpec.
+func MeasureTrace(r io.Reader) (Result, error) {
+	w, err := LoadTrace(r)
+	if err != nil {
+		return Result{}, err
+	}
+	return MeasureSpec(w, w.TraceThreads())
+}
